@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestParseSpeeds(t *testing.T) {
+	got, err := parseSpeeds("1, 5,10.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 5, 10.5}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if _, err := parseSpeeds("1,x"); err == nil {
+		t.Fatal("accepted malformed speed list")
+	}
+}

@@ -1,0 +1,253 @@
+// Command mcclskeys drives the McCLS key lifecycle from the command line,
+// exchanging all material as hex-encoded files so the three roles (KGC,
+// user, verifier) can run on different machines.
+//
+//	mcclskeys setup   -out kgc.master -params params.pub
+//	mcclskeys extract -master kgc.master -id alice -out alice.ppk
+//	mcclskeys keygen  -params params.pub -ppk alice.ppk -out alice.key -pub alice.pub
+//	mcclskeys sign    -params params.pub -ppk alice.ppk -key alice.key -in msg.txt -out msg.sig
+//	mcclskeys verify  -params params.pub -pub alice.pub -in msg.txt -sig msg.sig
+package main
+
+import (
+	"encoding/hex"
+	"fmt"
+	"math/big"
+	"os"
+	"strings"
+
+	"flag"
+
+	"mccls"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mcclskeys:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: mcclskeys <setup|extract|keygen|sign|verify> [flags]")
+	}
+	switch args[0] {
+	case "setup":
+		return cmdSetup(args[1:])
+	case "extract":
+		return cmdExtract(args[1:])
+	case "keygen":
+		return cmdKeygen(args[1:])
+	case "sign":
+		return cmdSign(args[1:])
+	case "verify":
+		return cmdVerify(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func writeHex(path string, data []byte) error {
+	return os.WriteFile(path, []byte(hex.EncodeToString(data)+"\n"), 0o600)
+}
+
+func readHex(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return hex.DecodeString(strings.TrimSpace(string(raw)))
+}
+
+func cmdSetup(args []string) error {
+	fs := flag.NewFlagSet("setup", flag.ContinueOnError)
+	out := fs.String("out", "kgc.master", "master key output file")
+	params := fs.String("params", "params.pub", "public parameters output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	kgc, err := mccls.Setup(nil)
+	if err != nil {
+		return err
+	}
+	if err := writeHex(*out, kgc.MasterKey().Bytes()); err != nil {
+		return err
+	}
+	if err := writeHex(*params, kgc.Params().Marshal()); err != nil {
+		return err
+	}
+	fmt.Printf("KGC initialized: master key → %s, public parameters → %s\n", *out, *params)
+	return nil
+}
+
+func loadKGC(masterPath string) (*mccls.KGC, error) {
+	raw, err := readHex(masterPath)
+	if err != nil {
+		return nil, err
+	}
+	return mccls.NewKGCFromMaster(new(big.Int).SetBytes(raw))
+}
+
+func cmdExtract(args []string) error {
+	fs := flag.NewFlagSet("extract", flag.ContinueOnError)
+	master := fs.String("master", "kgc.master", "master key file")
+	id := fs.String("id", "", "identity to extract a partial private key for")
+	out := fs.String("out", "", "partial private key output file (default <id>.ppk)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("extract: -id is required")
+	}
+	if *out == "" {
+		*out = *id + ".ppk"
+	}
+	kgc, err := loadKGC(*master)
+	if err != nil {
+		return err
+	}
+	ppk := kgc.ExtractPartialPrivateKey(*id)
+	if err := writeHex(*out, ppk.Marshal()); err != nil {
+		return err
+	}
+	fmt.Printf("partial private key for %q → %s\n", *id, *out)
+	return nil
+}
+
+func loadParams(path string) (*mccls.Params, error) {
+	raw, err := readHex(path)
+	if err != nil {
+		return nil, err
+	}
+	return mccls.UnmarshalParams(raw)
+}
+
+func loadPPK(path string) (*mccls.PartialPrivateKey, error) {
+	raw, err := readHex(path)
+	if err != nil {
+		return nil, err
+	}
+	return mccls.UnmarshalPartialPrivateKey(raw)
+}
+
+func cmdKeygen(args []string) error {
+	fs := flag.NewFlagSet("keygen", flag.ContinueOnError)
+	params := fs.String("params", "params.pub", "public parameters file")
+	ppkPath := fs.String("ppk", "", "partial private key file")
+	out := fs.String("out", "user.key", "secret value output file")
+	pub := fs.String("pub", "user.pub", "public key output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := loadParams(*params)
+	if err != nil {
+		return err
+	}
+	ppk, err := loadPPK(*ppkPath)
+	if err != nil {
+		return err
+	}
+	sk, err := mccls.GenerateKeyPair(p, ppk, nil)
+	if err != nil {
+		return err
+	}
+	if err := writeHex(*out, sk.SecretValue().Bytes()); err != nil {
+		return err
+	}
+	if err := writeHex(*pub, sk.Public().Marshal()); err != nil {
+		return err
+	}
+	fmt.Printf("keypair for %q: secret value → %s, public key → %s\n", sk.ID(), *out, *pub)
+	return nil
+}
+
+func cmdSign(args []string) error {
+	fs := flag.NewFlagSet("sign", flag.ContinueOnError)
+	params := fs.String("params", "params.pub", "public parameters file")
+	ppkPath := fs.String("ppk", "", "partial private key file")
+	key := fs.String("key", "user.key", "secret value file")
+	in := fs.String("in", "", "message file")
+	out := fs.String("out", "", "signature output file (default <in>.sig)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("sign: -in is required")
+	}
+	if *out == "" {
+		*out = *in + ".sig"
+	}
+	p, err := loadParams(*params)
+	if err != nil {
+		return err
+	}
+	ppk, err := loadPPK(*ppkPath)
+	if err != nil {
+		return err
+	}
+	xRaw, err := readHex(*key)
+	if err != nil {
+		return err
+	}
+	sk, err := mccls.NewPrivateKeyFromSecret(p, ppk, new(big.Int).SetBytes(xRaw))
+	if err != nil {
+		return err
+	}
+	msg, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	sig, err := mccls.Sign(p, sk, msg, nil)
+	if err != nil {
+		return err
+	}
+	if err := writeHex(*out, sig.Marshal()); err != nil {
+		return err
+	}
+	fmt.Printf("signature over %s (%d bytes) → %s\n", *in, len(msg), *out)
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	params := fs.String("params", "params.pub", "public parameters file")
+	pub := fs.String("pub", "user.pub", "public key file")
+	in := fs.String("in", "", "message file")
+	sigPath := fs.String("sig", "", "signature file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *sigPath == "" {
+		return fmt.Errorf("verify: -in and -sig are required")
+	}
+	p, err := loadParams(*params)
+	if err != nil {
+		return err
+	}
+	pkRaw, err := readHex(*pub)
+	if err != nil {
+		return err
+	}
+	pk, err := mccls.UnmarshalPublicKey(pkRaw)
+	if err != nil {
+		return err
+	}
+	msg, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	sigRaw, err := readHex(*sigPath)
+	if err != nil {
+		return err
+	}
+	sig, err := mccls.UnmarshalSignature(sigRaw)
+	if err != nil {
+		return err
+	}
+	if err := mccls.NewVerifier(p).Verify(pk, msg, sig); err != nil {
+		return fmt.Errorf("verification FAILED for identity %q: %w", pk.ID, err)
+	}
+	fmt.Printf("OK: valid signature by %q over %s\n", pk.ID, *in)
+	return nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestKeyLifecycle drives the full CLI flow — setup, extract, keygen, sign,
+// verify — through temporary files, then checks that tampering is caught.
+func TestKeyLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	p := func(name string) string { return filepath.Join(dir, name) }
+
+	if err := run([]string{"setup", "-out", p("kgc.master"), "-params", p("params.pub")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"extract", "-master", p("kgc.master"), "-id", "alice", "-out", p("alice.ppk")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"keygen", "-params", p("params.pub"), "-ppk", p("alice.ppk"),
+		"-out", p("alice.key"), "-pub", p("alice.pub")}); err != nil {
+		t.Fatal(err)
+	}
+
+	msg := p("msg.txt")
+	if err := os.WriteFile(msg, []byte("hello MANET"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"sign", "-params", p("params.pub"), "-ppk", p("alice.ppk"),
+		"-key", p("alice.key"), "-in", msg, "-out", p("msg.sig")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"verify", "-params", p("params.pub"), "-pub", p("alice.pub"),
+		"-in", msg, "-sig", p("msg.sig")}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tampered message must fail verification.
+	if err := os.WriteFile(msg, []byte("hello MANET!"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"verify", "-params", p("params.pub"), "-pub", p("alice.pub"),
+		"-in", msg, "-sig", p("msg.sig")})
+	if err == nil || !strings.Contains(err.Error(), "FAILED") {
+		t.Fatalf("tampered message verified: %v", err)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no args accepted")
+	}
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run([]string{"extract"}); err == nil {
+		t.Fatal("extract without -id accepted")
+	}
+	if err := run([]string{"sign"}); err == nil {
+		t.Fatal("sign without -in accepted")
+	}
+	if err := run([]string{"verify"}); err == nil {
+		t.Fatal("verify without inputs accepted")
+	}
+}

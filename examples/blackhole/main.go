@@ -1,0 +1,52 @@
+// Black hole demo: shows the paper's security result live. Two black hole
+// nodes join a 20-node MANET; under plain AODV they attract and absorb a
+// large share of the traffic, under McCLS-AODV their forged route replies
+// fail hop-by-hop signature verification and the drop ratio goes to zero.
+// The rushing attacker is shown alongside for comparison.
+//
+//	go run ./examples/blackhole
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mccls/manet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("20-node MANET @ 5 m/s, 2 attacker nodes, 200 s of CBR traffic")
+	fmt.Println()
+	fmt.Printf("%-10s %-12s %10s %12s %14s\n", "attack", "protocol", "PDR", "drop ratio", "auth rejects")
+
+	for _, atk := range []manet.AttackMode{manet.Blackhole, manet.Rushing} {
+		for _, sec := range []manet.SecurityMode{manet.AODV, manet.McCLS} {
+			res, err := manet.Scenario{
+				MaxSpeed: 5,
+				Duration: 200 * time.Second,
+				Seed:     7,
+				Security: sec,
+				Attack:   atk,
+			}.Run()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-10s %-12s %10.3f %12.3f %14d\n",
+				atk, sec, res.PacketDeliveryRatio(), res.PacketDropRatio(), res.AuthRejected)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Under McCLS the attackers hold no KGC-issued keys: their forged")
+	fmt.Println("RREPs (black hole) and rushed RREQ forwards (rushing) are rejected")
+	fmt.Println("at the first honest hop, so no route ever crosses them — the")
+	fmt.Println("paper's Figures 4 and 5.")
+	return nil
+}

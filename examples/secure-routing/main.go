@@ -1,0 +1,55 @@
+// Secure routing: runs the paper's core comparison once — a 20-node mobile
+// ad hoc network at 10 m/s, plain AODV vs McCLS-authenticated AODV — and
+// prints the four evaluation metrics side by side. Without an attacker the
+// two should be nearly identical except for McCLS's slightly higher
+// end-to-end delay (the per-hop signature work).
+//
+//	go run ./examples/secure-routing
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mccls/manet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	base := manet.Scenario{
+		MaxSpeed: 10,
+		Duration: 200 * time.Second,
+		Seed:     2026,
+	}
+
+	fmt.Println("20 nodes, 1500×300 m, random waypoint @ 10 m/s, 10 CBR flows, 200 s")
+	fmt.Println()
+	fmt.Printf("%-8s %10s %12s %14s %12s\n", "proto", "PDR", "RREQ ratio", "delay", "drop ratio")
+
+	for _, mode := range []manet.SecurityMode{manet.AODV, manet.McCLS} {
+		sc := base
+		sc.Security = mode
+		res, err := sc.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %10.3f %12.3f %14v %12.3f\n",
+			mode,
+			res.PacketDeliveryRatio(),
+			res.RREQRatio(),
+			res.EndToEndDelay().Round(10*time.Microsecond),
+			res.PacketDropRatio())
+	}
+
+	fmt.Println()
+	fmt.Println("McCLS adds per-hop sign/verify latency on control packets, so its")
+	fmt.Println("delay sits slightly above AODV while delivery stays equivalent —")
+	fmt.Println("the paper's Figures 1–3 in one run.")
+	return nil
+}

@@ -1,0 +1,3 @@
+module mccls
+
+go 1.24

@@ -1,0 +1,88 @@
+package aodv
+
+import "time"
+
+// HELLO beaconing (RFC 3561 §6.9): with Config.HelloInterval > 0, every
+// node periodically broadcasts a one-hop HELLO; hearing any frame from a
+// neighbor refreshes its liveness, and a neighbor silent for
+// AllowedHelloLoss intervals is declared lost, proactively invalidating
+// routes through it instead of waiting for a unicast data failure.
+//
+// HELLOs are control packets: under McCLS-AODV they are signed and
+// verified like RREQ/RREP, so an attacker cannot keep a phantom neighbor
+// alive.
+
+// Hello is a one-hop liveness beacon.
+type Hello struct {
+	Seq uint32
+
+	Sender int
+	Auth   []byte
+}
+
+// helloWireSize is the on-air size of a HELLO before authentication
+// overhead (an RREP-shaped packet per the RFC).
+const helloWireSize = rrepWireSize
+
+// Encode returns the canonical byte encoding of the HELLO (everything
+// except Auth).
+func (h *Hello) Encode() []byte {
+	out := []byte{kindHello}
+	out = appendU32(out, h.Seq)
+	out = appendInt(out, h.Sender)
+	return out
+}
+
+// helloLoop emits one HELLO, sweeps for silent neighbors, and reschedules
+// itself.
+func (n *Node) helloLoop() {
+	if n.cfg.HelloInterval <= 0 {
+		return
+	}
+	n.sendHello()
+	n.sweepNeighbors()
+	n.sim.Schedule(n.cfg.HelloInterval, n.helloLoop)
+}
+
+// sendHello signs and broadcasts one beacon.
+func (n *Node) sendHello() {
+	h := &Hello{Seq: n.seq, Sender: n.ID}
+	auth, delay := n.auth.Sign(n.ID, h.Encode())
+	h.Auth = auth
+	n.Stats.HelloSent++
+	n.sim.Schedule(delay, func() {
+		n.medium.Broadcast(n.ID, helloWireSize+n.auth.Overhead(), h)
+	})
+}
+
+// heard records liveness of a one-hop neighbor.
+func (n *Node) heard(neighbor int) {
+	if n.cfg.HelloInterval > 0 {
+		n.lastHeard[neighbor] = n.sim.Now()
+	}
+}
+
+// sweepNeighbors declares neighbors lost after AllowedHelloLoss silent
+// intervals and tears down routes through them.
+func (n *Node) sweepNeighbors() {
+	deadline := time.Duration(n.cfg.AllowedHelloLoss) * n.cfg.HelloInterval
+	now := n.sim.Now()
+	for neighbor, at := range n.lastHeard {
+		if now-at <= deadline {
+			continue
+		}
+		delete(n.lastHeard, neighbor)
+		n.Stats.NeighborsLost++
+		n.linkBroken(neighbor)
+	}
+}
+
+// processHello refreshes the neighbor's liveness and hop-1 route.
+func (n *Node) processHello(from int, h Hello) {
+	lifetime := time.Duration(n.cfg.AllowedHelloLoss) * n.cfg.HelloInterval
+	if lifetime <= 0 {
+		lifetime = n.cfg.ActiveRouteTimeout
+	}
+	n.updateRoute(from, from, 1, h.Seq, true, lifetime)
+	n.heard(from)
+}

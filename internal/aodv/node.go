@@ -1,0 +1,722 @@
+package aodv
+
+import (
+	"time"
+
+	"mccls/internal/radio"
+	"mccls/internal/sim"
+)
+
+// Config holds the AODV protocol parameters. Zero values select the
+// defaults below, which follow RFC 3561 scaled to the paper's 20-node
+// field.
+type Config struct {
+	// ActiveRouteTimeout is the lifetime of a route refreshed by use
+	// (default 3s).
+	ActiveRouteTimeout time.Duration
+	// MyRouteTimeout is the lifetime a destination advertises in its own
+	// RREPs (default 6s).
+	MyRouteTimeout time.Duration
+	// NodeTraversalTime is the per-hop latency estimate used to size
+	// discovery timeouts (default 40ms).
+	NodeTraversalTime time.Duration
+	// NetDiameter bounds the network in hops (default 12).
+	NetDiameter int
+	// RREQRetries is how many times a failed discovery is retried
+	// (default 2).
+	RREQRetries int
+	// TTLStart, TTLIncrement and TTLThreshold drive the expanding-ring
+	// search (defaults 2, 2, 7). Once TTL passes TTLThreshold the search
+	// floods at NetDiameter.
+	TTLStart, TTLIncrement, TTLThreshold int
+	// RebroadcastJitterMax is the maximum uniform delay before
+	// rebroadcasting an RREQ (default 25ms, the flood-damping delay AODV
+	// implementations add to reduce broadcast collisions). This
+	// randomized delay is the lever the rushing attack exploits: an
+	// attacker that forwards with zero jitter wins the
+	// duplicate-suppression race.
+	RebroadcastJitterMax time.Duration
+	// DataTTL is the hop limit on data packets (default 32).
+	DataTTL int
+	// SendBufferCap bounds the number of data packets buffered per
+	// destination during discovery (default 64).
+	SendBufferCap int
+	// AllowIntermediateReply lets nodes with a fresh-enough cached route
+	// answer RREQs (default true, per the RFC; the black hole attack
+	// abuses exactly this mechanism). Set DisableIntermediateReply to
+	// turn it off.
+	DisableIntermediateReply bool
+	// HelloInterval enables periodic one-hop HELLO beacons (RFC 3561
+	// §6.9) for proactive link-failure detection. 0 (the default)
+	// disables beaconing; link breaks are then detected on unicast
+	// failure only.
+	HelloInterval time.Duration
+	// AllowedHelloLoss is how many silent HELLO intervals mark a
+	// neighbor as lost (default 2, per the RFC).
+	AllowedHelloLoss int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ActiveRouteTimeout == 0 {
+		c.ActiveRouteTimeout = 3 * time.Second
+	}
+	if c.MyRouteTimeout == 0 {
+		c.MyRouteTimeout = 2 * c.ActiveRouteTimeout
+	}
+	if c.NodeTraversalTime == 0 {
+		c.NodeTraversalTime = 40 * time.Millisecond
+	}
+	if c.NetDiameter == 0 {
+		c.NetDiameter = 12
+	}
+	if c.RREQRetries == 0 {
+		c.RREQRetries = 2
+	}
+	if c.TTLStart == 0 {
+		c.TTLStart = 2
+	}
+	if c.TTLIncrement == 0 {
+		c.TTLIncrement = 2
+	}
+	if c.TTLThreshold == 0 {
+		c.TTLThreshold = 7
+	}
+	if c.RebroadcastJitterMax == 0 {
+		c.RebroadcastJitterMax = 25 * time.Millisecond
+	}
+	if c.DataTTL == 0 {
+		c.DataTTL = 32
+	}
+	if c.SendBufferCap == 0 {
+		c.SendBufferCap = 64
+	}
+	if c.AllowedHelloLoss == 0 {
+		c.AllowedHelloLoss = 2
+	}
+	return c
+}
+
+// ringTraversalTime is the discovery timeout for a given search TTL.
+func (c Config) ringTraversalTime(ttl int) time.Duration {
+	return 2 * c.NodeTraversalTime * time.Duration(ttl+2)
+}
+
+// Stats counts per-node protocol events. The paper's four metrics are
+// computed from these by package metrics.
+type Stats struct {
+	DataSent      uint64 // originated by this node
+	DataDelivered uint64 // received here as final destination
+	DataForwarded uint64
+
+	RREQInitiated  uint64
+	RREQRetried    uint64
+	RREQForwarded  uint64
+	RREPOriginated uint64
+	RREPForwarded  uint64
+	RERRSent       uint64
+	HelloSent      uint64
+	NeighborsLost  uint64 // neighbors declared dead by HELLO loss
+
+	AuthRejected uint64 // control packets dropped for bad authentication
+
+	DropNoRoute        uint64
+	DropBufferOverflow uint64
+	DropLinkBreak      uint64
+	DropTTLExpired     uint64
+	DropByAttacker     uint64 // data absorbed by this node acting maliciously
+
+	DelaySum   time.Duration // end-to-end, summed at this destination
+	DelayCount uint64
+}
+
+// Hooks customize node behaviour; the attack package uses them to implement
+// the black hole and rushing adversaries, and tests use them for fault
+// injection. Nil fields select default behaviour.
+type Hooks struct {
+	// OnRREQ runs after duplicate suppression and authentication. Return
+	// false to suppress default RREQ processing.
+	OnRREQ func(n *Node, from int, req *RREQ) bool
+	// FilterData is consulted before forwarding a data packet. Return
+	// false to silently absorb it (counted as DropByAttacker).
+	FilterData func(n *Node, pkt *DataPacket) bool
+	// RebroadcastJitter overrides the default uniform jitter draw.
+	RebroadcastJitter func(n *Node) time.Duration
+	// SkipVerify disables authentication checks on received control
+	// packets (an attacker does not care whether packets verify).
+	SkipVerify bool
+}
+
+// routeEntry is one row of the routing table.
+type routeEntry struct {
+	nextHop  int
+	hops     int
+	destSeq  uint32
+	validSeq bool
+	expires  sim.Time
+	valid    bool
+}
+
+func (e *routeEntry) usable(now sim.Time) bool {
+	return e != nil && e.valid && e.expires > now
+}
+
+type seenKey struct {
+	origin int
+	id     uint32
+}
+
+// discovery tracks an in-progress route discovery.
+type discovery struct {
+	attempts int
+	ttl      int
+	gen      int // invalidates stale timeout events
+}
+
+// Node is one AODV router plus its application endpoint.
+type Node struct {
+	// ID is the node's address (its index in the medium).
+	ID int
+
+	sim    *sim.Simulator
+	medium *radio.Medium
+	cfg    Config
+	auth   Authenticator
+
+	seq     uint32
+	rreqID  uint32
+	nextPkt uint64
+
+	routes    map[int]*routeEntry
+	seen      map[seenKey]sim.Time
+	pending   map[int]*discovery
+	buffer    map[int][]*DataPacket
+	lastHeard map[int]sim.Time
+
+	// Hooks customize behaviour (attacks, fault injection).
+	Hooks Hooks
+	// OnDeliver, if set, observes every data packet delivered here.
+	OnDeliver func(*DataPacket)
+	// Stats accumulates protocol counters.
+	Stats Stats
+}
+
+// NewNode creates an AODV agent for node id and registers it with the
+// medium.
+func NewNode(id int, s *sim.Simulator, medium *radio.Medium, cfg Config, auth Authenticator) *Node {
+	n := &Node{
+		ID:        id,
+		sim:       s,
+		medium:    medium,
+		cfg:       cfg.withDefaults(),
+		auth:      auth,
+		routes:    make(map[int]*routeEntry),
+		seen:      make(map[seenKey]sim.Time),
+		pending:   make(map[int]*discovery),
+		buffer:    make(map[int][]*DataPacket),
+		lastHeard: make(map[int]sim.Time),
+	}
+	medium.SetHandler(id, n.handleFrame)
+	if n.cfg.HelloInterval > 0 {
+		// Desynchronize the beacon phase across nodes.
+		offset := time.Duration(s.Rand().Int63n(int64(n.cfg.HelloInterval)))
+		s.Schedule(offset, n.helloLoop)
+	}
+	return n
+}
+
+// Config returns the node's effective configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// Seq returns the node's current sequence number.
+func (n *Node) Seq() uint32 { return n.seq }
+
+// seqNewer reports whether a is strictly fresher than b under RFC 3561
+// rollover arithmetic.
+func seqNewer(a, b uint32) bool { return int32(a-b) > 0 }
+
+// ---------------------------------------------------------------------------
+// Routing table
+
+// updateRoute applies the RFC route-update rules and returns whether the
+// entry was replaced.
+func (n *Node) updateRoute(dest, nextHop, hops int, seq uint32, seqKnown bool, lifetime time.Duration) bool {
+	now := n.sim.Now()
+	e := n.routes[dest]
+	if e == nil {
+		n.routes[dest] = &routeEntry{
+			nextHop: nextHop, hops: hops, destSeq: seq, validSeq: seqKnown,
+			expires: now + lifetime, valid: true,
+		}
+		return true
+	}
+	accept := false
+	switch {
+	case !e.usable(now):
+		accept = true
+	case seqKnown && e.validSeq && seqNewer(seq, e.destSeq):
+		accept = true
+	case seqKnown && e.validSeq && seq == e.destSeq && hops < e.hops:
+		accept = true
+	case seqKnown && !e.validSeq:
+		accept = true
+	case !seqKnown:
+		// Only refresh the lifetime of the same path.
+		if e.nextHop == nextHop && hops >= e.hops {
+			if exp := now + lifetime; exp > e.expires {
+				e.expires = exp
+			}
+		}
+	}
+	if !accept {
+		return false
+	}
+	e.nextHop, e.hops, e.expires, e.valid = nextHop, hops, now+lifetime, true
+	if seqKnown {
+		e.destSeq, e.validSeq = seq, true
+	}
+	return true
+}
+
+// route returns the usable routing entry for dest, or nil.
+func (n *Node) route(dest int) *routeEntry {
+	e := n.routes[dest]
+	if !e.usable(n.sim.Now()) {
+		return nil
+	}
+	return e
+}
+
+// HasRoute reports whether the node currently holds a usable route to dest,
+// and its next hop. Exposed for tests and attack implementations.
+func (n *Node) HasRoute(dest int) (nextHop int, ok bool) {
+	if e := n.route(dest); e != nil {
+		return e.nextHop, true
+	}
+	return 0, false
+}
+
+// touch refreshes the lifetime of an active route.
+func (n *Node) touch(dest int) {
+	if e := n.route(dest); e != nil {
+		if exp := n.sim.Now() + n.cfg.ActiveRouteTimeout; exp > e.expires {
+			e.expires = exp
+		}
+	}
+}
+
+// invalidateVia marks every route using hop as next hop invalid and returns
+// the affected destinations with incremented sequence numbers.
+func (n *Node) invalidateVia(hop int) []UnreachableDest {
+	var out []UnreachableDest
+	for dest, e := range n.routes {
+		if e.valid && e.nextHop == hop {
+			e.valid = false
+			e.destSeq++
+			out = append(out, UnreachableDest{Dest: dest, DestSeq: e.destSeq})
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Application interface
+
+// Send originates a data packet of the given payload size toward dst,
+// buffering it and starting route discovery if necessary.
+func (n *Node) Send(dst, bytes int) {
+	n.Stats.DataSent++
+	pkt := &DataPacket{
+		ID:     uint64(n.ID)<<40 | n.nextPkt,
+		Src:    n.ID,
+		Dst:    dst,
+		Bytes:  bytes,
+		SentAt: n.sim.Now(),
+		TTL:    n.cfg.DataTTL,
+	}
+	n.nextPkt++
+	if dst == n.ID {
+		n.deliver(pkt)
+		return
+	}
+	if e := n.route(dst); e != nil {
+		n.transmitData(pkt, e)
+		return
+	}
+	n.enqueue(pkt)
+	n.startDiscovery(dst)
+}
+
+// enqueue buffers a packet awaiting route discovery.
+func (n *Node) enqueue(pkt *DataPacket) {
+	q := n.buffer[pkt.Dst]
+	if len(q) >= n.cfg.SendBufferCap {
+		n.Stats.DropBufferOverflow++
+		return
+	}
+	n.buffer[pkt.Dst] = append(q, pkt)
+}
+
+// deliver hands a packet to the application layer.
+func (n *Node) deliver(pkt *DataPacket) {
+	n.Stats.DataDelivered++
+	n.Stats.DelaySum += n.sim.Now() - pkt.SentAt
+	n.Stats.DelayCount++
+	if n.OnDeliver != nil {
+		n.OnDeliver(pkt)
+	}
+}
+
+// transmitData unicasts a data packet along a routing entry, handling
+// link-break detection.
+func (n *Node) transmitData(pkt *DataPacket, e *routeEntry) {
+	if !n.medium.Unicast(n.ID, e.nextHop, pkt.Bytes+dataWireOverhead, pkt) {
+		n.linkBroken(e.nextHop)
+		n.Stats.DropLinkBreak++
+		return
+	}
+	n.touch(pkt.Dst)
+	n.touch(e.nextHop)
+}
+
+// linkBroken invalidates routes through a dead neighbor and advertises the
+// breakage.
+func (n *Node) linkBroken(hop int) {
+	lost := n.invalidateVia(hop)
+	if len(lost) == 0 {
+		return
+	}
+	n.sendRERR(lost)
+}
+
+// ---------------------------------------------------------------------------
+// Discovery
+
+// startDiscovery begins (or joins) a route discovery for dst.
+func (n *Node) startDiscovery(dst int) {
+	if _, inProgress := n.pending[dst]; inProgress {
+		return
+	}
+	d := &discovery{attempts: 1, ttl: n.cfg.TTLStart}
+	n.pending[dst] = d
+	n.Stats.RREQInitiated++
+	n.issueRREQ(dst, d)
+}
+
+// issueRREQ broadcasts one RREQ round for dst and arms the retry timer.
+func (n *Node) issueRREQ(dst int, d *discovery) {
+	n.seq++
+	n.rreqID++
+	req := &RREQ{
+		ID:        n.rreqID,
+		Origin:    n.ID,
+		OriginSeq: n.seq,
+		Dest:      dst,
+		HopCount:  0,
+		TTL:       d.ttl,
+	}
+	if e := n.routes[dst]; e != nil && e.validSeq {
+		req.DestSeq, req.SeqKnown = e.destSeq, true
+	}
+	// Suppress our own flooded copy.
+	n.seen[seenKey{origin: n.ID, id: req.ID}] = n.sim.Now()
+	n.sendRREQ(req)
+
+	gen := d.gen
+	n.sim.Schedule(n.cfg.ringTraversalTime(d.ttl), func() {
+		cur, ok := n.pending[dst]
+		if !ok || cur.gen != gen {
+			return // satisfied or superseded
+		}
+		if cur.attempts > n.cfg.RREQRetries {
+			// Discovery failed: drop everything buffered for dst.
+			n.Stats.DropNoRoute += uint64(len(n.buffer[dst]))
+			delete(n.buffer, dst)
+			delete(n.pending, dst)
+			return
+		}
+		cur.attempts++
+		cur.gen++
+		cur.ttl += n.cfg.TTLIncrement
+		if cur.ttl > n.cfg.TTLThreshold {
+			cur.ttl = n.cfg.NetDiameter
+		}
+		n.Stats.RREQRetried++
+		n.issueRREQ(dst, cur)
+	})
+}
+
+// discoveryComplete flushes the send buffer once a route to dst appears.
+func (n *Node) discoveryComplete(dst int) {
+	if _, ok := n.pending[dst]; ok {
+		cur := n.pending[dst]
+		cur.gen++ // disarm outstanding timer
+		delete(n.pending, dst)
+	}
+	e := n.route(dst)
+	if e == nil {
+		return
+	}
+	for _, pkt := range n.buffer[dst] {
+		n.transmitData(pkt, e)
+	}
+	delete(n.buffer, dst)
+}
+
+// ---------------------------------------------------------------------------
+// Control-packet transmission
+
+// sendRREQ signs and broadcasts an RREQ as this node.
+func (n *Node) sendRREQ(req *RREQ) {
+	req.Sender = n.ID
+	auth, delay := n.auth.Sign(n.ID, req.Encode())
+	req.Auth = auth
+	n.sim.Schedule(delay, func() {
+		n.medium.Broadcast(n.ID, rreqWireSize+n.auth.Overhead(), req)
+	})
+}
+
+// SendRREP signs an RREP as this node and unicasts it to the given next
+// hop. Exported because attack behaviours forge replies through it.
+func (n *Node) SendRREP(to int, rep *RREP) bool {
+	rep.Sender = n.ID
+	auth, delay := n.auth.Sign(n.ID, rep.Encode())
+	rep.Auth = auth
+	size := rrepWireSize + n.auth.Overhead()
+	if !n.medium.InRange(n.ID, to) {
+		n.linkBroken(to)
+		return false
+	}
+	n.sim.Schedule(delay, func() {
+		n.medium.Unicast(n.ID, to, size, rep)
+	})
+	return true
+}
+
+// sendRERR signs and broadcasts a route-error report.
+func (n *Node) sendRERR(lost []UnreachableDest) {
+	rerr := &RERR{Unreachable: lost, Sender: n.ID}
+	auth, delay := n.auth.Sign(n.ID, rerr.Encode())
+	rerr.Auth = auth
+	n.Stats.RERRSent++
+	n.sim.Schedule(delay, func() {
+		n.medium.Broadcast(n.ID, rerr.wireSize(n.auth.Overhead()), rerr)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+
+// handleFrame dispatches frames delivered by the medium. Broadcast frames
+// share one message value among receivers, so every branch copies before
+// mutating.
+func (n *Node) handleFrame(from int, payload any) {
+	n.heard(from)
+	switch msg := payload.(type) {
+	case *Hello:
+		cp := *msg
+		n.receiveControl(from, cp.Encode(), cp.Auth, cp.Sender, func() { n.processHello(from, cp) })
+	case *RREQ:
+		cp := *msg
+		n.receiveControl(from, cp.Encode(), cp.Auth, cp.Sender, func() { n.processRREQ(from, cp) })
+	case *RREP:
+		cp := *msg
+		n.receiveControl(from, cp.Encode(), cp.Auth, cp.Sender, func() { n.processRREP(from, cp) })
+	case *RERR:
+		cp := *msg
+		cp.Unreachable = append([]UnreachableDest(nil), msg.Unreachable...)
+		n.receiveControl(from, cp.Encode(), cp.Auth, cp.Sender, func() { n.processRERR(from, cp) })
+	case *DataPacket:
+		cp := *msg
+		n.processData(from, &cp)
+	}
+}
+
+// receiveControl authenticates an incoming control packet and schedules its
+// processing after the verification delay.
+func (n *Node) receiveControl(from int, payload, auth []byte, sender int, process func()) {
+	if n.Hooks.SkipVerify {
+		process()
+		return
+	}
+	if sender != from {
+		// The claimed transmitter must be the actual one-hop sender;
+		// anything else is spoofing regardless of signature validity.
+		n.Stats.AuthRejected++
+		return
+	}
+	ok, delay := n.auth.Verify(sender, payload, auth)
+	n.sim.Schedule(delay, func() {
+		if !ok {
+			n.Stats.AuthRejected++
+			return
+		}
+		process()
+	})
+}
+
+// processRREQ implements RFC 3561 §6.5.
+func (n *Node) processRREQ(from int, req RREQ) {
+	if req.Origin == n.ID {
+		return // our own flood echoed back
+	}
+	key := seenKey{origin: req.Origin, id: req.ID}
+	if _, dup := n.seen[key]; dup {
+		return
+	}
+	n.seen[key] = n.sim.Now()
+	n.pruneSeen()
+
+	if n.Hooks.OnRREQ != nil && !n.Hooks.OnRREQ(n, from, &req) {
+		return
+	}
+
+	// Reverse routes: to the previous hop and to the originator.
+	n.updateRoute(from, from, 1, 0, false, n.cfg.ActiveRouteTimeout)
+	n.updateRoute(req.Origin, from, req.HopCount+1, req.OriginSeq, true, n.cfg.ActiveRouteTimeout)
+
+	if req.Dest == n.ID {
+		// Destination replies. Keep our sequence number at least as
+		// fresh as the request claims to know, and advance it so each
+		// reply is strictly fresher than the last (RFC 3561 §6.6.1) —
+		// without this, a forged reply with seq+1 would win every race.
+		if req.SeqKnown && seqNewer(req.DestSeq, n.seq) {
+			n.seq = req.DestSeq
+		}
+		n.seq++
+		n.Stats.RREPOriginated++
+		n.SendRREP(from, &RREP{
+			Origin:   req.Origin,
+			Dest:     n.ID,
+			DestSeq:  n.seq,
+			HopCount: 0,
+			Lifetime: n.cfg.MyRouteTimeout,
+		})
+		return
+	}
+
+	if !n.cfg.DisableIntermediateReply {
+		if e := n.route(req.Dest); e != nil && e.validSeq &&
+			(!req.SeqKnown || !seqNewer(req.DestSeq, e.destSeq)) {
+			n.Stats.RREPOriginated++
+			n.SendRREP(from, &RREP{
+				Origin:   req.Origin,
+				Dest:     req.Dest,
+				DestSeq:  e.destSeq,
+				HopCount: e.hops,
+				Lifetime: e.expires - n.sim.Now(),
+			})
+			return
+		}
+	}
+
+	if req.TTL <= 1 {
+		return // ring boundary
+	}
+	fwd := req
+	fwd.HopCount++
+	fwd.TTL--
+	n.Stats.RREQForwarded++
+	jitter := n.drawJitter()
+	n.sim.Schedule(jitter, func() { n.sendRREQ(&fwd) })
+}
+
+// drawJitter picks the rebroadcast delay, honouring the hook.
+func (n *Node) drawJitter() time.Duration {
+	if n.Hooks.RebroadcastJitter != nil {
+		return n.Hooks.RebroadcastJitter(n)
+	}
+	if n.cfg.RebroadcastJitterMax <= 0 {
+		return 0
+	}
+	return time.Duration(n.sim.Rand().Int63n(int64(n.cfg.RebroadcastJitterMax)))
+}
+
+// processRREP implements RFC 3561 §6.7.
+func (n *Node) processRREP(from int, rep RREP) {
+	n.updateRoute(from, from, 1, 0, false, n.cfg.ActiveRouteTimeout)
+	n.updateRoute(rep.Dest, from, rep.HopCount+1, rep.DestSeq, true, rep.Lifetime)
+
+	if rep.Origin == n.ID {
+		n.discoveryComplete(rep.Dest)
+		return
+	}
+	// Forward along the reverse path.
+	e := n.route(rep.Origin)
+	if e == nil {
+		return // reverse route evaporated; the originator will retry
+	}
+	fwd := rep
+	fwd.HopCount++
+	n.Stats.RREPForwarded++
+	n.SendRREP(e.nextHop, &fwd)
+}
+
+// processRERR invalidates routes that relied on the reporting neighbor and
+// propagates the report if that changed anything.
+func (n *Node) processRERR(from int, rerr RERR) {
+	var propagated []UnreachableDest
+	for _, u := range rerr.Unreachable {
+		e := n.routes[u.Dest]
+		if e == nil || !e.valid || e.nextHop != from {
+			continue
+		}
+		e.valid = false
+		if seqNewer(u.DestSeq, e.destSeq) {
+			e.destSeq = u.DestSeq
+		}
+		propagated = append(propagated, UnreachableDest{Dest: u.Dest, DestSeq: e.destSeq})
+	}
+	if len(propagated) > 0 {
+		n.sendRERR(propagated)
+	}
+}
+
+// processData forwards or delivers a routed data packet.
+func (n *Node) processData(from int, pkt *DataPacket) {
+	n.updateRoute(from, from, 1, 0, false, n.cfg.ActiveRouteTimeout)
+	// An active flow keeps the path toward its source alive (RFC 3561 §6.2).
+	n.touch(pkt.Src)
+	if pkt.Dst == n.ID {
+		n.deliver(pkt)
+		return
+	}
+	if n.Hooks.FilterData != nil && !n.Hooks.FilterData(n, pkt) {
+		n.Stats.DropByAttacker++
+		return
+	}
+	pkt.TTL--
+	if pkt.TTL <= 0 {
+		n.Stats.DropTTLExpired++
+		return
+	}
+	pkt.HopsFwd++
+	e := n.route(pkt.Dst)
+	if e == nil {
+		n.Stats.DropNoRoute++
+		n.sendRERR([]UnreachableDest{{Dest: pkt.Dst, DestSeq: n.lastKnownSeq(pkt.Dst)}})
+		return
+	}
+	n.Stats.DataForwarded++
+	n.transmitData(pkt, e)
+}
+
+// lastKnownSeq returns the freshest sequence number recorded for dest.
+func (n *Node) lastKnownSeq(dest int) uint32 {
+	if e := n.routes[dest]; e != nil {
+		return e.destSeq + 1
+	}
+	return 0
+}
+
+// pruneSeen bounds the duplicate-suppression cache.
+func (n *Node) pruneSeen() {
+	if len(n.seen) < 4096 {
+		return
+	}
+	horizon := n.sim.Now() - 2*n.cfg.ringTraversalTime(n.cfg.NetDiameter)
+	for k, at := range n.seen {
+		if at < horizon {
+			delete(n.seen, k)
+		}
+	}
+}

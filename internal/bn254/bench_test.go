@@ -1,0 +1,99 @@
+package bn254
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the pairing substrate, including the Miller-loop vs
+// final-exponentiation split called out as an ablation in DESIGN.md §5.
+
+func benchPoints(b *testing.B) (*G1, *G2) {
+	b.Helper()
+	r := rand.New(rand.NewSource(1))
+	p := new(G1).ScalarBaseMult(new(big.Int).Rand(r, Order))
+	q := new(G2).ScalarBaseMult(new(big.Int).Rand(r, Order))
+	return p, q
+}
+
+func BenchmarkPairing(b *testing.B) {
+	p, q := benchPoints(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Pair(p, q)
+	}
+}
+
+func BenchmarkMillerLoop(b *testing.B) {
+	p, q := benchPoints(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		millerLoop(p, q)
+	}
+}
+
+func BenchmarkFinalExponentiation(b *testing.B) {
+	p, q := benchPoints(b)
+	f := millerLoop(p, q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		finalExponentiation(f)
+	}
+}
+
+func BenchmarkG1ScalarMult(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	k := new(big.Int).Rand(r, Order)
+	g := G1Generator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		new(G1).ScalarMult(g, k)
+	}
+}
+
+func BenchmarkG2ScalarMult(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	k := new(big.Int).Rand(r, Order)
+	g := G2Generator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		new(G2).ScalarMult(g, k)
+	}
+}
+
+func BenchmarkHashToG1(b *testing.B) {
+	msg := []byte("benchmark message")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HashToG1("bench", msg)
+	}
+}
+
+func BenchmarkHashToG2(b *testing.B) {
+	msg := []byte("benchmark message")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HashToG2("bench", msg)
+	}
+}
+
+func BenchmarkFp12Mul(b *testing.B) {
+	p, q := benchPoints(b)
+	f := millerLoop(p, q)
+	g := new(Fp12).Mul(f, f)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		new(Fp12).Mul(f, g)
+	}
+}
+
+func BenchmarkGTExp(b *testing.B) {
+	p, q := benchPoints(b)
+	gt := Pair(p, q)
+	k := new(big.Int).Rand(rand.New(rand.NewSource(4)), Order)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		new(GT).Exp(gt, k)
+	}
+}

@@ -1,0 +1,148 @@
+package bn254
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Compressed point encodings: a signature's R and S components dominate
+// McCLS's per-packet overhead in the MANET, so points can be shipped as an
+// x-coordinate plus one sign bit, halving the wire size at the cost of a
+// square root on decode.
+//
+// Prefix bytes follow the SEC1 convention: 0x00 = infinity (rest zero),
+// 0x02/0x03 = compressed with the sign of y.
+
+const (
+	prefixInfinity   = 0x00
+	prefixEvenY      = 0x02
+	prefixOddY       = 0x03
+	g1CompressedSize = 1 + 32
+	g2CompressedSize = 1 + 64
+)
+
+// fpIsNeg reports the canonical "sign" of an Fp element: whether it exceeds
+// (p-1)/2. Using a sign rather than parity keeps the flag stable under
+// negation: exactly one of y, -y is "negative".
+func fpIsNeg(a *big.Int) bool {
+	half := new(big.Int).Rsh(P, 1)
+	return a.Cmp(half) > 0
+}
+
+// fp2IsNeg orders Fp2 lexicographically by (C1, C0) signs: the C1 sign
+// decides unless C1 is zero, in which case the C0 sign does.
+func fp2IsNeg(a *Fp2) bool {
+	if a.C1.Sign() != 0 {
+		return fpIsNeg(a.C1)
+	}
+	return fpIsNeg(a.C0)
+}
+
+// MarshalCompressed encodes z in 33 bytes.
+func (z *G1) MarshalCompressed() []byte {
+	out := make([]byte, g1CompressedSize)
+	if z.Inf {
+		return out
+	}
+	if fpIsNeg(z.Y) {
+		out[0] = prefixOddY
+	} else {
+		out[0] = prefixEvenY
+	}
+	z.X.FillBytes(out[1:])
+	return out
+}
+
+// UnmarshalCompressed decodes a point produced by MarshalCompressed,
+// solving the curve equation for y.
+func (z *G1) UnmarshalCompressed(data []byte) error {
+	if len(data) != g1CompressedSize {
+		return fmt.Errorf("%w: compressed G1 wants %d bytes, got %d", ErrInvalidPoint, g1CompressedSize, len(data))
+	}
+	switch data[0] {
+	case prefixInfinity:
+		for _, b := range data[1:] {
+			if b != 0 {
+				return fmt.Errorf("%w: nonzero infinity encoding", ErrInvalidPoint)
+			}
+		}
+		z.Set(G1Infinity())
+		return nil
+	case prefixEvenY, prefixOddY:
+	default:
+		return fmt.Errorf("%w: unknown prefix 0x%02x", ErrInvalidPoint, data[0])
+	}
+	x := new(big.Int).SetBytes(data[1:])
+	if x.Cmp(P) >= 0 {
+		return fmt.Errorf("%w: x out of range", ErrInvalidPoint)
+	}
+	rhs := fpAdd(fpMul(fpMul(x, x), x), curveB)
+	y := fpSqrt(rhs)
+	if y == nil {
+		return fmt.Errorf("%w: x not on curve", ErrInvalidPoint)
+	}
+	if fpIsNeg(y) != (data[0] == prefixOddY) {
+		y = fpNeg(y)
+	}
+	z.X, z.Y, z.Inf = x, y, false
+	return nil
+}
+
+// MarshalCompressed encodes z in 65 bytes.
+func (z *G2) MarshalCompressed() []byte {
+	out := make([]byte, g2CompressedSize)
+	if z.Inf {
+		return out
+	}
+	if fp2IsNeg(z.Y) {
+		out[0] = prefixOddY
+	} else {
+		out[0] = prefixEvenY
+	}
+	z.X.C0.FillBytes(out[1:33])
+	z.X.C1.FillBytes(out[33:])
+	return out
+}
+
+// UnmarshalCompressed decodes a point produced by MarshalCompressed,
+// validating subgroup membership as Unmarshal does.
+func (z *G2) UnmarshalCompressed(data []byte) error {
+	if len(data) != g2CompressedSize {
+		return fmt.Errorf("%w: compressed G2 wants %d bytes, got %d", ErrInvalidPoint, g2CompressedSize, len(data))
+	}
+	switch data[0] {
+	case prefixInfinity:
+		for _, b := range data[1:] {
+			if b != 0 {
+				return fmt.Errorf("%w: nonzero infinity encoding", ErrInvalidPoint)
+			}
+		}
+		z.Set(G2Infinity())
+		return nil
+	case prefixEvenY, prefixOddY:
+	default:
+		return fmt.Errorf("%w: unknown prefix 0x%02x", ErrInvalidPoint, data[0])
+	}
+	x := &Fp2{
+		C0: new(big.Int).SetBytes(data[1:33]),
+		C1: new(big.Int).SetBytes(data[33:]),
+	}
+	if x.C0.Cmp(P) >= 0 || x.C1.Cmp(P) >= 0 {
+		return fmt.Errorf("%w: x out of range", ErrInvalidPoint)
+	}
+	rhs := new(Fp2).Mul(new(Fp2).Square(x), x)
+	rhs.Add(rhs, twistB)
+	y := new(Fp2).Sqrt(rhs)
+	if y == nil {
+		return fmt.Errorf("%w: x not on twist curve", ErrInvalidPoint)
+	}
+	if fp2IsNeg(y) != (data[0] == prefixOddY) {
+		y.Neg(y)
+	}
+	cand := &G2{X: x, Y: y}
+	if !cand.IsInSubgroup() {
+		return fmt.Errorf("%w: G2 point not in subgroup", ErrInvalidPoint)
+	}
+	z.Set(cand)
+	return nil
+}

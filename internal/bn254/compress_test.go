@@ -1,0 +1,120 @@
+package bn254
+
+import (
+	"bytes"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestG1CompressedRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 16; i++ {
+		p := new(G1).ScalarBaseMult(new(big.Int).Rand(r, Order))
+		enc := p.MarshalCompressed()
+		if len(enc) != g1CompressedSize {
+			t.Fatalf("encoded %d bytes", len(enc))
+		}
+		var q G1
+		if err := q.UnmarshalCompressed(enc); err != nil {
+			t.Fatal(err)
+		}
+		if !p.Equal(&q) {
+			t.Fatal("round trip mismatch")
+		}
+		// The negated point must differ only in the prefix byte.
+		neg := new(G1).Neg(p).MarshalCompressed()
+		if bytes.Equal(neg, enc) {
+			t.Fatal("P and -P compress identically")
+		}
+		if !bytes.Equal(neg[1:], enc[1:]) {
+			t.Fatal("P and -P have different x encodings")
+		}
+	}
+	var inf G1
+	if err := inf.UnmarshalCompressed(G1Infinity().MarshalCompressed()); err != nil || !inf.IsInfinity() {
+		t.Fatal("infinity round trip failed")
+	}
+}
+
+func TestG2CompressedRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for i := 0; i < 4; i++ {
+		p := new(G2).ScalarBaseMult(new(big.Int).Rand(r, Order))
+		var q G2
+		if err := q.UnmarshalCompressed(p.MarshalCompressed()); err != nil {
+			t.Fatal(err)
+		}
+		if !p.Equal(&q) {
+			t.Fatal("round trip mismatch")
+		}
+		neg := new(G2).Neg(p)
+		var qn G2
+		if err := qn.UnmarshalCompressed(neg.MarshalCompressed()); err != nil {
+			t.Fatal(err)
+		}
+		if !qn.Equal(neg) {
+			t.Fatal("negated round trip mismatch")
+		}
+	}
+	var inf G2
+	if err := inf.UnmarshalCompressed(G2Infinity().MarshalCompressed()); err != nil || !inf.IsInfinity() {
+		t.Fatal("infinity round trip failed")
+	}
+}
+
+func TestCompressedRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x02},
+		make([]byte, g1CompressedSize), // handled: prefix 0 + zeros = infinity
+		append([]byte{0x07}, make([]byte, 32)...), // bad prefix
+	}
+	// Case 2 IS valid (infinity); replace with nonzero-infinity violation.
+	cases[2] = append([]byte{0x00, 0x01}, make([]byte, 31)...)
+	for i, c := range cases {
+		if err := new(G1).UnmarshalCompressed(c); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+	// x off curve: x=0 gives rhs=3, a QR? Try a few x until a non-residue.
+	found := false
+	for x := int64(0); x < 20 && !found; x++ {
+		enc := make([]byte, g1CompressedSize)
+		enc[0] = prefixEvenY
+		big.NewInt(x).FillBytes(enc[1:])
+		rhs := fpAdd(fpMul(fpMul(big.NewInt(x), big.NewInt(x)), big.NewInt(x)), curveB)
+		if fpSqrt(rhs) == nil {
+			if err := new(G1).UnmarshalCompressed(enc); err == nil {
+				t.Fatal("off-curve x accepted")
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Skip("no small non-residue x found")
+	}
+}
+
+func TestG2CompressedRejectsWrongSubgroup(t *testing.T) {
+	// Build an on-twist point outside the order-r subgroup and compress it:
+	// decode must refuse.
+	for ctr := uint32(0); ; ctr++ {
+		b0 := hashBlock("csub", []byte("x"), ctr)
+		x := &Fp2{C0: new(big.Int).Mod(new(big.Int).SetBytes(b0), P), C1: big.NewInt(3)}
+		rhs := new(Fp2).Mul(new(Fp2).Square(x), x)
+		rhs.Add(rhs, twistB)
+		y := new(Fp2).Sqrt(rhs)
+		if y == nil {
+			continue
+		}
+		pt := &G2{X: x, Y: y}
+		if pt.IsInSubgroup() {
+			continue
+		}
+		if err := new(G2).UnmarshalCompressed(pt.MarshalCompressed()); err == nil {
+			t.Fatal("out-of-subgroup compressed point accepted")
+		}
+		return
+	}
+}

@@ -1,0 +1,54 @@
+package bn254
+
+import (
+	"crypto/rand"
+	"errors"
+	"io"
+	"math/big"
+)
+
+// Helpers for the base field Fp. Values are canonical *big.Int residues in
+// [0, p). Every helper returns a fresh big.Int so callers never alias.
+
+func fpAdd(a, b *big.Int) *big.Int {
+	return new(big.Int).Mod(new(big.Int).Add(a, b), P)
+}
+
+func fpSub(a, b *big.Int) *big.Int {
+	return new(big.Int).Mod(new(big.Int).Sub(a, b), P)
+}
+
+func fpMul(a, b *big.Int) *big.Int {
+	return new(big.Int).Mod(new(big.Int).Mul(a, b), P)
+}
+
+func fpNeg(a *big.Int) *big.Int {
+	return new(big.Int).Mod(new(big.Int).Neg(a), P)
+}
+
+func fpInv(a *big.Int) *big.Int {
+	return new(big.Int).ModInverse(a, P)
+}
+
+// fpSqrt returns a square root of a modulo p, or nil if a is a non-residue.
+func fpSqrt(a *big.Int) *big.Int {
+	return new(big.Int).ModSqrt(a, P)
+}
+
+var errZeroScalar = errors.New("bn254: rejected zero scalar")
+
+// RandomScalar returns a uniformly random element of Zr*.
+func RandomScalar(rng io.Reader) (*big.Int, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	for {
+		k, err := rand.Int(rng, Order)
+		if err != nil {
+			return nil, err
+		}
+		if k.Sign() != 0 {
+			return k, nil
+		}
+	}
+}

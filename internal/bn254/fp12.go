@@ -1,0 +1,180 @@
+package bn254
+
+import (
+	"math/big"
+	"strings"
+)
+
+// Fp12 is the sextic extension Fp2[w]/(w^6 - xi) with xi = 9 + i. An element
+// is sum_{k=0..5} C[k]·w^k. This single-step tower (instead of the usual
+// 2-3-2 tower) keeps multiplication, Frobenius and inversion uniform: the
+// Frobenius acts coefficient-wise as conjugation times xi^(k(p-1)/6), and
+// inversion reduces to the Galois norm down to Fp2.
+//
+// Methods follow the math/big convention: z.Op(x, y) stores the result in z
+// and returns z. Receivers may alias arguments.
+type Fp12 struct {
+	C [6]*Fp2
+}
+
+// Fp12One returns the multiplicative identity.
+func Fp12One() *Fp12 {
+	z := &Fp12{}
+	z.C[0] = Fp2One()
+	for k := 1; k < 6; k++ {
+		z.C[k] = Fp2Zero()
+	}
+	return z
+}
+
+// Set copies x into z and returns z.
+func (z *Fp12) Set(x *Fp12) *Fp12 {
+	for k := 0; k < 6; k++ {
+		z.C[k] = new(Fp2).Set(x.C[k])
+	}
+	return z
+}
+
+// IsOne reports whether z is the multiplicative identity.
+func (z *Fp12) IsOne() bool {
+	if !z.C[0].IsOne() {
+		return false
+	}
+	for k := 1; k < 6; k++ {
+		if !z.C[k].IsZero() {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether z and x represent the same field element.
+func (z *Fp12) Equal(x *Fp12) bool {
+	for k := 0; k < 6; k++ {
+		if !z.C[k].Equal(x.C[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Mul sets z = x·y by schoolbook convolution with reduction w^6 = xi.
+func (z *Fp12) Mul(x, y *Fp12) *Fp12 {
+	var acc [11]*Fp2
+	for k := range acc {
+		acc[k] = Fp2Zero()
+	}
+	t := new(Fp2)
+	for a := 0; a < 6; a++ {
+		if x.C[a].IsZero() {
+			continue
+		}
+		for b := 0; b < 6; b++ {
+			if y.C[b].IsZero() {
+				continue
+			}
+			t.Mul(x.C[a], y.C[b])
+			acc[a+b].Add(acc[a+b], t)
+		}
+	}
+	res := &Fp12{}
+	x6 := xi()
+	for k := 0; k < 6; k++ {
+		res.C[k] = acc[k]
+	}
+	for k := 6; k < 11; k++ {
+		// w^k = w^(k-6)·xi
+		t := new(Fp2).Mul(acc[k], x6)
+		res.C[k-6].Add(res.C[k-6], t)
+	}
+	return z.Set(res)
+}
+
+// Square sets z = x².
+func (z *Fp12) Square(x *Fp12) *Fp12 { return z.Mul(x, x) }
+
+// MulFp2 sets z = k·x for a scalar k ∈ Fp2.
+func (z *Fp12) MulFp2(x *Fp12, k *Fp2) *Fp12 {
+	res := &Fp12{}
+	for i := 0; i < 6; i++ {
+		res.C[i] = new(Fp2).Mul(x.C[i], k)
+	}
+	return z.Set(res)
+}
+
+// Frobenius sets z = x^p. On the w-power basis this is coefficient-wise
+// conjugation times gamma^k where gamma = xi^((p-1)/6).
+func (z *Fp12) Frobenius(x *Fp12) *Fp12 {
+	res := &Fp12{}
+	pow := Fp2One()
+	for k := 0; k < 6; k++ {
+		res.C[k] = new(Fp2).Conjugate(x.C[k])
+		res.C[k].Mul(res.C[k], pow)
+		pow = new(Fp2).Mul(pow, xiToPMinus1Over6)
+	}
+	return z.Set(res)
+}
+
+// FrobeniusN sets z = x^(p^n) by repeated application of Frobenius.
+func (z *Fp12) FrobeniusN(x *Fp12, n int) *Fp12 {
+	z.Set(x)
+	for i := 0; i < n; i++ {
+		z.Frobenius(z)
+	}
+	return z
+}
+
+// Inverse sets z = x⁻¹ using the Galois norm to Fp2: with σ = Frobenius²
+// generating Gal(Fp12/Fp2), t = Π_{k=1..5} σ^k(x) and N = x·t ∈ Fp2, so
+// x⁻¹ = t/N. Panics on zero input.
+func (z *Fp12) Inverse(x *Fp12) *Fp12 {
+	t := Fp12One()
+	conj := new(Fp12).Set(x)
+	for k := 1; k <= 5; k++ {
+		conj.FrobeniusN(conj, 2)
+		t.Mul(t, conj)
+	}
+	norm := new(Fp12).Mul(x, t)
+	// norm lies in Fp2 (fixed by sigma); its higher coefficients vanish.
+	for k := 1; k < 6; k++ {
+		if !norm.C[k].IsZero() {
+			panic("bn254: Fp12 norm not in Fp2")
+		}
+	}
+	if norm.C[0].IsZero() {
+		panic("bn254: inverse of zero Fp12 element")
+	}
+	nInv := new(Fp2).Inverse(norm.C[0])
+	return z.MulFp2(t, nInv)
+}
+
+// Conjugate sets z = x^(p^6), which for unitary elements (the cyclotomic
+// subgroup GT lives in) equals x⁻¹.
+func (z *Fp12) Conjugate(x *Fp12) *Fp12 { return z.FrobeniusN(x, 6) }
+
+// Exp sets z = x^e for a non-negative integer exponent e.
+func (z *Fp12) Exp(x *Fp12, e *big.Int) *Fp12 {
+	acc := Fp12One()
+	base := new(Fp12).Set(x)
+	for i := e.BitLen() - 1; i >= 0; i-- {
+		acc.Square(acc)
+		if e.Bit(i) == 1 {
+			acc.Mul(acc, base)
+		}
+	}
+	return z.Set(acc)
+}
+
+// String renders z as a polynomial in w.
+func (z *Fp12) String() string {
+	parts := make([]string, 0, 6)
+	for k := 0; k < 6; k++ {
+		if !z.C[k].IsZero() {
+			parts = append(parts, "("+z.C[k].String()+")w^"+string(rune('0'+k)))
+		}
+	}
+	if len(parts) == 0 {
+		return "0"
+	}
+	return strings.Join(parts, " + ")
+}

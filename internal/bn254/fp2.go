@@ -1,0 +1,146 @@
+package bn254
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Fp2 is the quadratic extension Fp[i]/(i^2 + 1). An element is
+// C0 + C1·i with C0, C1 canonical residues modulo p.
+//
+// Methods follow the math/big convention: z.Op(x, y) stores x ∘ y into z and
+// returns z. Receivers may alias arguments.
+type Fp2 struct {
+	C0, C1 *big.Int
+}
+
+// Fp2Zero returns the additive identity.
+func Fp2Zero() *Fp2 { return &Fp2{C0: big.NewInt(0), C1: big.NewInt(0)} }
+
+// Fp2One returns the multiplicative identity.
+func Fp2One() *Fp2 { return &Fp2{C0: big.NewInt(1), C1: big.NewInt(0)} }
+
+// Set copies x into z and returns z.
+func (z *Fp2) Set(x *Fp2) *Fp2 {
+	z.C0 = new(big.Int).Set(x.C0)
+	z.C1 = new(big.Int).Set(x.C1)
+	return z
+}
+
+// IsZero reports whether z is the additive identity.
+func (z *Fp2) IsZero() bool { return z.C0.Sign() == 0 && z.C1.Sign() == 0 }
+
+// IsOne reports whether z is the multiplicative identity.
+func (z *Fp2) IsOne() bool { return z.C0.Cmp(big.NewInt(1)) == 0 && z.C1.Sign() == 0 }
+
+// Equal reports whether z and x represent the same field element.
+func (z *Fp2) Equal(x *Fp2) bool { return z.C0.Cmp(x.C0) == 0 && z.C1.Cmp(x.C1) == 0 }
+
+// Add sets z = x + y.
+func (z *Fp2) Add(x, y *Fp2) *Fp2 {
+	z.C0, z.C1 = fpAdd(x.C0, y.C0), fpAdd(x.C1, y.C1)
+	return z
+}
+
+// Sub sets z = x - y.
+func (z *Fp2) Sub(x, y *Fp2) *Fp2 {
+	z.C0, z.C1 = fpSub(x.C0, y.C0), fpSub(x.C1, y.C1)
+	return z
+}
+
+// Neg sets z = -x.
+func (z *Fp2) Neg(x *Fp2) *Fp2 {
+	z.C0, z.C1 = fpNeg(x.C0), fpNeg(x.C1)
+	return z
+}
+
+// Conjugate sets z = C0 - C1·i.
+func (z *Fp2) Conjugate(x *Fp2) *Fp2 {
+	z.C0, z.C1 = new(big.Int).Set(x.C0), fpNeg(x.C1)
+	return z
+}
+
+// Mul sets z = x·y using (a+bi)(c+di) = (ac-bd) + (ad+bc)i.
+func (z *Fp2) Mul(x, y *Fp2) *Fp2 {
+	ac := fpMul(x.C0, y.C0)
+	bd := fpMul(x.C1, y.C1)
+	ad := fpMul(x.C0, y.C1)
+	bc := fpMul(x.C1, y.C0)
+	z.C0, z.C1 = fpSub(ac, bd), fpAdd(ad, bc)
+	return z
+}
+
+// Square sets z = x².
+func (z *Fp2) Square(x *Fp2) *Fp2 { return z.Mul(x, x) }
+
+// MulScalar sets z = k·x for k ∈ Fp.
+func (z *Fp2) MulScalar(x *Fp2, k *big.Int) *Fp2 {
+	z.C0, z.C1 = fpMul(x.C0, k), fpMul(x.C1, k)
+	return z
+}
+
+// Inverse sets z = x⁻¹ via (a+bi)⁻¹ = (a-bi)/(a²+b²). It panics on zero
+// input, which indicates a programming error in the caller.
+func (z *Fp2) Inverse(x *Fp2) *Fp2 {
+	norm := fpAdd(fpMul(x.C0, x.C0), fpMul(x.C1, x.C1))
+	if norm.Sign() == 0 {
+		panic("bn254: inverse of zero Fp2 element")
+	}
+	inv := fpInv(norm)
+	z.C0, z.C1 = fpMul(x.C0, inv), fpNeg(fpMul(x.C1, inv))
+	return z
+}
+
+// Exp sets z = x^e for a non-negative integer exponent e, by left-to-right
+// square-and-multiply.
+func (z *Fp2) Exp(x *Fp2, e *big.Int) *Fp2 {
+	acc := Fp2One()
+	base := new(Fp2).Set(x)
+	for i := e.BitLen() - 1; i >= 0; i-- {
+		acc.Square(acc)
+		if e.Bit(i) == 1 {
+			acc.Mul(acc, base)
+		}
+	}
+	return z.Set(acc)
+}
+
+// Sqrt sets z to a square root of x and returns z, or returns nil if x is a
+// quadratic non-residue. Uses the p ≡ 3 (mod 4) complex-extension algorithm
+// (Adj & Rodríguez-Henríquez) and verifies the result.
+func (z *Fp2) Sqrt(x *Fp2) *Fp2 {
+	if x.IsZero() {
+		return z.Set(Fp2Zero())
+	}
+	// a1 = x^((p-3)/4)
+	e := new(big.Int).Sub(P, big.NewInt(3))
+	e.Rsh(e, 2)
+	a1 := new(Fp2).Exp(x, e)
+	// x0 = a1·x, alpha = a1·x0 = x^((p-1)/2)
+	x0 := new(Fp2).Mul(a1, x)
+	alpha := new(Fp2).Mul(a1, x0)
+
+	var cand *Fp2
+	minusOne := new(Fp2).Neg(Fp2One())
+	if alpha.Equal(minusOne) {
+		// candidate = i·x0
+		i := &Fp2{C0: big.NewInt(0), C1: big.NewInt(1)}
+		cand = new(Fp2).Mul(i, x0)
+	} else {
+		// candidate = (1+alpha)^((p-1)/2) · x0
+		b := new(Fp2).Add(Fp2One(), alpha)
+		half := new(big.Int).Sub(P, big.NewInt(1))
+		half.Rsh(half, 1)
+		b.Exp(b, half)
+		cand = new(Fp2).Mul(b, x0)
+	}
+	if !new(Fp2).Square(cand).Equal(x) {
+		return nil
+	}
+	return z.Set(cand)
+}
+
+// String renders z as "c0 + c1*i" in decimal.
+func (z *Fp2) String() string {
+	return fmt.Sprintf("%v + %v*i", z.C0, z.C1)
+}

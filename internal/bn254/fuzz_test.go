@@ -1,0 +1,82 @@
+package bn254
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzzers for the untrusted decode paths. Without -fuzz they run the seed
+// corpus as regular tests; the invariants are "never panic" and "anything
+// accepted re-encodes canonically".
+
+func FuzzG1Unmarshal(f *testing.F) {
+	f.Add(G1Generator().Marshal())
+	f.Add(G1Infinity().Marshal())
+	f.Add(make([]byte, 64))
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p G1
+		if err := p.Unmarshal(data); err != nil {
+			return
+		}
+		if !p.IsOnCurve() {
+			t.Fatal("accepted off-curve point")
+		}
+		if !bytes.Equal(p.Marshal(), data) {
+			t.Fatal("accepted non-canonical encoding")
+		}
+	})
+}
+
+func FuzzG1UnmarshalCompressed(f *testing.F) {
+	f.Add(G1Generator().MarshalCompressed())
+	f.Add(G1Infinity().MarshalCompressed())
+	f.Add(append([]byte{0x03}, make([]byte, 32)...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p G1
+		if err := p.UnmarshalCompressed(data); err != nil {
+			return
+		}
+		if !p.IsOnCurve() {
+			t.Fatal("accepted off-curve point")
+		}
+		if !bytes.Equal(p.MarshalCompressed(), data) {
+			t.Fatal("accepted non-canonical compressed encoding")
+		}
+	})
+}
+
+func FuzzG2Unmarshal(f *testing.F) {
+	f.Add(G2Generator().Marshal())
+	f.Add(G2Infinity().Marshal())
+	f.Add(make([]byte, 128))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p G2
+		if err := p.Unmarshal(data); err != nil {
+			return
+		}
+		if !p.IsInSubgroup() {
+			t.Fatal("accepted point outside the subgroup")
+		}
+		if !bytes.Equal(p.Marshal(), data) {
+			t.Fatal("accepted non-canonical encoding")
+		}
+	})
+}
+
+func FuzzG2UnmarshalCompressed(f *testing.F) {
+	f.Add(G2Generator().MarshalCompressed())
+	f.Add(G2Infinity().MarshalCompressed())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p G2
+		if err := p.UnmarshalCompressed(data); err != nil {
+			return
+		}
+		if !p.IsInSubgroup() {
+			t.Fatal("accepted point outside the subgroup")
+		}
+		if !bytes.Equal(p.MarshalCompressed(), data) {
+			t.Fatal("accepted non-canonical compressed encoding")
+		}
+	})
+}

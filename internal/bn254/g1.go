@@ -1,0 +1,224 @@
+package bn254
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// G1 is a point of the order-r group E(Fp): y² = x³ + 3, in affine
+// coordinates. The zero value is NOT valid; use G1Infinity, G1Generator or
+// one of the constructors. For BN curves #E(Fp) = r, so every curve point is
+// in the subgroup.
+//
+// Methods follow the math/big convention: z.Op(x, y) stores the result in z
+// and returns z.
+type G1 struct {
+	X, Y *big.Int
+	// Inf marks the point at infinity; X and Y are ignored when set.
+	Inf bool
+}
+
+// G1Infinity returns the identity element.
+func G1Infinity() *G1 { return &G1{X: big.NewInt(0), Y: big.NewInt(0), Inf: true} }
+
+// G1Generator returns the canonical generator (1, 2).
+func G1Generator() *G1 { return &G1{X: big.NewInt(1), Y: big.NewInt(2)} }
+
+// Set copies x into z and returns z.
+func (z *G1) Set(x *G1) *G1 {
+	z.X, z.Y, z.Inf = new(big.Int).Set(x.X), new(big.Int).Set(x.Y), x.Inf
+	return z
+}
+
+// IsInfinity reports whether z is the identity.
+func (z *G1) IsInfinity() bool { return z.Inf }
+
+// Equal reports whether z and x are the same point.
+func (z *G1) Equal(x *G1) bool {
+	if z.Inf || x.Inf {
+		return z.Inf == x.Inf
+	}
+	return z.X.Cmp(x.X) == 0 && z.Y.Cmp(x.Y) == 0
+}
+
+// IsOnCurve reports whether z satisfies y² = x³ + 3 (the identity counts as
+// on-curve).
+func (z *G1) IsOnCurve() bool {
+	if z.Inf {
+		return true
+	}
+	if z.X.Sign() < 0 || z.X.Cmp(P) >= 0 || z.Y.Sign() < 0 || z.Y.Cmp(P) >= 0 {
+		return false
+	}
+	lhs := fpMul(z.Y, z.Y)
+	rhs := fpAdd(fpMul(fpMul(z.X, z.X), z.X), curveB)
+	return lhs.Cmp(rhs) == 0
+}
+
+// Neg sets z = -x.
+func (z *G1) Neg(x *G1) *G1 {
+	if x.Inf {
+		return z.Set(x)
+	}
+	z.X, z.Y, z.Inf = new(big.Int).Set(x.X), fpNeg(x.Y), false
+	return z
+}
+
+// Add sets z = a + b by the affine chord-and-tangent rule.
+func (z *G1) Add(a, b *G1) *G1 {
+	if a.Inf {
+		return z.Set(b)
+	}
+	if b.Inf {
+		return z.Set(a)
+	}
+	if a.X.Cmp(b.X) == 0 {
+		if a.Y.Cmp(b.Y) != 0 {
+			return z.Set(G1Infinity())
+		}
+		return z.Double(a)
+	}
+	// lambda = (y2-y1)/(x2-x1)
+	lambda := fpMul(fpSub(b.Y, a.Y), fpInv(fpSub(b.X, a.X)))
+	x3 := fpSub(fpSub(fpMul(lambda, lambda), a.X), b.X)
+	y3 := fpSub(fpMul(lambda, fpSub(a.X, x3)), a.Y)
+	z.X, z.Y, z.Inf = x3, y3, false
+	return z
+}
+
+// Double sets z = 2a.
+func (z *G1) Double(a *G1) *G1 {
+	if a.Inf || a.Y.Sign() == 0 {
+		return z.Set(G1Infinity())
+	}
+	// lambda = 3x²/(2y)
+	num := fpMul(big.NewInt(3), fpMul(a.X, a.X))
+	lambda := fpMul(num, fpInv(fpAdd(a.Y, a.Y)))
+	x3 := fpSub(fpSub(fpMul(lambda, lambda), a.X), a.X)
+	y3 := fpSub(fpMul(lambda, fpSub(a.X, x3)), a.Y)
+	z.X, z.Y, z.Inf = x3, y3, false
+	return z
+}
+
+// ScalarMult sets z = k·a by an affine double-and-add ladder. Negative k
+// multiplies by -a.
+//
+// Affine is deliberate: on math/big, extended-GCD modular inversion costs
+// about the same as the ~7 extra field multiplications of a Jacobian
+// doubling, so projective coordinates buy nothing here (measured by
+// BenchmarkG1ScalarMult vs BenchmarkG1ScalarMultJacobian; see DESIGN.md
+// §5). The Jacobian implementation is kept in jacobian.go, cross-checked
+// by tests.
+func (z *G1) ScalarMult(a *G1, k *big.Int) *G1 {
+	opCounters.g1Mults.Add(1)
+	e := new(big.Int).Mod(k, Order)
+	acc := G1Infinity()
+	base := new(G1).Set(a)
+	for i := e.BitLen() - 1; i >= 0; i-- {
+		acc.Double(acc)
+		if e.Bit(i) == 1 {
+			acc.Add(acc, base)
+		}
+	}
+	return z.Set(acc)
+}
+
+// ScalarBaseMult sets z = k·G where G is the canonical generator.
+func (z *G1) ScalarBaseMult(k *big.Int) *G1 { return z.ScalarMult(G1Generator(), k) }
+
+// g1MarshalledSize is the byte length of a marshalled G1 point.
+const g1MarshalledSize = 64
+
+// Marshal encodes z as X‖Y, 32 big-endian bytes each. The identity encodes
+// as all zeroes.
+func (z *G1) Marshal() []byte {
+	out := make([]byte, g1MarshalledSize)
+	if z.Inf {
+		return out
+	}
+	z.X.FillBytes(out[:32])
+	z.Y.FillBytes(out[32:])
+	return out
+}
+
+var (
+	// ErrInvalidPoint reports a malformed or off-curve encoded point.
+	ErrInvalidPoint = errors.New("bn254: invalid point encoding")
+)
+
+// Unmarshal decodes a point produced by Marshal, validating curve
+// membership.
+func (z *G1) Unmarshal(data []byte) error {
+	if len(data) != g1MarshalledSize {
+		return fmt.Errorf("%w: G1 wants %d bytes, got %d", ErrInvalidPoint, g1MarshalledSize, len(data))
+	}
+	x := new(big.Int).SetBytes(data[:32])
+	y := new(big.Int).SetBytes(data[32:])
+	if x.Sign() == 0 && y.Sign() == 0 {
+		z.Set(G1Infinity())
+		return nil
+	}
+	cand := &G1{X: x, Y: y}
+	if !cand.IsOnCurve() {
+		return fmt.Errorf("%w: G1 point not on curve", ErrInvalidPoint)
+	}
+	z.Set(cand)
+	return nil
+}
+
+// hashCounterStream derives an unbounded stream of 32-byte blocks from
+// (domain, msg) via SHA-256(domain ‖ counter ‖ msg).
+func hashBlock(domain string, msg []byte, counter uint32) []byte {
+	h := sha256.New()
+	h.Write([]byte(domain))
+	var ctr [4]byte
+	binary.BigEndian.PutUint32(ctr[:], counter)
+	h.Write(ctr[:])
+	h.Write(msg)
+	return h.Sum(nil)
+}
+
+// HashToG1 maps an arbitrary message into G1 by try-and-increment: derive an
+// x-coordinate candidate from the hash stream, solve y² = x³ + 3, and choose
+// the y parity from the stream. The cofactor of G1 is 1, so any curve point
+// is already in the prime-order subgroup.
+func HashToG1(domain string, msg []byte) *G1 {
+	for counter := uint32(0); ; counter++ {
+		block := hashBlock(domain, msg, counter)
+		x := new(big.Int).Mod(new(big.Int).SetBytes(block), P)
+		rhs := fpAdd(fpMul(fpMul(x, x), x), curveB)
+		y := fpSqrt(rhs)
+		if y == nil {
+			continue
+		}
+		// Use one stream bit to pick between y and -y so the map is not
+		// biased toward even roots.
+		if block[len(block)-1]&1 == 1 {
+			y = fpNeg(y)
+		}
+		return &G1{X: x, Y: y}
+	}
+}
+
+// HashToScalar maps an arbitrary message to a nonzero scalar in Zr*,
+// reducing 512 bits of hash output to keep the bias negligible.
+func HashToScalar(domain string, msg []byte) *big.Int {
+	for counter := uint32(0); ; counter += 2 {
+		wide := append(hashBlock(domain, msg, counter), hashBlock(domain, msg, counter+1)...)
+		k := new(big.Int).Mod(new(big.Int).SetBytes(wide), Order)
+		if k.Sign() != 0 {
+			return k
+		}
+	}
+}
+
+// String renders the point for debugging.
+func (z *G1) String() string {
+	if z.Inf {
+		return "G1(inf)"
+	}
+	return fmt.Sprintf("G1(%v, %v)", z.X, z.Y)
+}

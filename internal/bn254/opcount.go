@@ -1,0 +1,49 @@
+package bn254
+
+import "sync/atomic"
+
+// Operation counters for instrumentation: tests use them to verify that
+// the CLS schemes really perform the pairing/scalar-multiplication counts
+// the paper's Table 1 claims, rather than trusting static annotations.
+// Counting is always on (one atomic add per expensive operation — noise
+// against math/big arithmetic) and process-global, like expvar counters.
+
+// OpCounts is a snapshot of the global operation counters.
+type OpCounts struct {
+	Pairings      uint64 // Miller loops executed (PairingCheck counts one per pair)
+	FinalExps     uint64 // final exponentiations
+	G1ScalarMults uint64
+	G2ScalarMults uint64
+	GTExps        uint64
+}
+
+var opCounters struct {
+	pairings  atomic.Uint64
+	finalExps atomic.Uint64
+	g1Mults   atomic.Uint64
+	g2Mults   atomic.Uint64
+	gtExps    atomic.Uint64
+}
+
+// ReadOpCounts returns the current counter values.
+func ReadOpCounts() OpCounts {
+	return OpCounts{
+		Pairings:      opCounters.pairings.Load(),
+		FinalExps:     opCounters.finalExps.Load(),
+		G1ScalarMults: opCounters.g1Mults.Load(),
+		G2ScalarMults: opCounters.g2Mults.Load(),
+		GTExps:        opCounters.gtExps.Load(),
+	}
+}
+
+// Sub returns the per-field difference c - earlier; use a before/after pair
+// of ReadOpCounts snapshots to attribute operations to a code region.
+func (c OpCounts) Sub(earlier OpCounts) OpCounts {
+	return OpCounts{
+		Pairings:      c.Pairings - earlier.Pairings,
+		FinalExps:     c.FinalExps - earlier.FinalExps,
+		G1ScalarMults: c.G1ScalarMults - earlier.G1ScalarMults,
+		G2ScalarMults: c.G2ScalarMults - earlier.G2ScalarMults,
+		GTExps:        c.GTExps - earlier.GTExps,
+	}
+}

@@ -1,0 +1,583 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"mccls/internal/bn254"
+)
+
+// fixedRand returns a deterministic randomness source for reproducible
+// tests. It is NOT cryptographically secure.
+func fixedRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// newTestSystem builds a KGC and one enrolled user.
+func newTestSystem(t *testing.T, id string) (*KGC, *PrivateKey, *Verifier) {
+	t.Helper()
+	rng := fixedRand(1)
+	kgc, err := Setup(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppk := kgc.ExtractPartialPrivateKey(id)
+	sk, err := GenerateKeyPair(kgc.Params(), ppk, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kgc, sk, NewVerifier(kgc.Params())
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	kgc, sk, vf := newTestSystem(t, "node-1@manet")
+	msg := []byte("RREQ 7 from node-1")
+	sig, err := Sign(kgc.Params(), sk, msg, fixedRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vf.Verify(sk.Public(), msg, sig); err != nil {
+		t.Fatalf("valid signature rejected: %v", err)
+	}
+	// A second signature on the same message uses fresh randomness and must
+	// also verify (signatures are probabilistic).
+	sig2, err := Sign(kgc.Params(), sk, msg, fixedRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig2.R.Equal(sig.R) {
+		t.Fatal("distinct randomness produced identical commitments")
+	}
+	if err := vf.Verify(sk.Public(), msg, sig2); err != nil {
+		t.Fatalf("valid signature rejected: %v", err)
+	}
+}
+
+func TestVerifySpecAgreesWithFastPath(t *testing.T) {
+	kgc, sk, vf := newTestSystem(t, "alice")
+	for i := 0; i < 4; i++ {
+		msg := []byte{byte(i), 0xAB}
+		sig, err := Sign(kgc.Params(), sk, msg, fixedRand(int64(10+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := vf.Verify(sk.Public(), msg, sig); err != nil {
+			t.Fatalf("fast path rejected valid sig: %v", err)
+		}
+		if err := vf.VerifySpec(sk.Public(), msg, sig); err != nil {
+			t.Fatalf("spec path rejected valid sig: %v", err)
+		}
+		// Both paths must also agree on rejection.
+		bad := &Signature{V: sig.V, S: sig.S, R: new(bn254.G1).ScalarBaseMult(big.NewInt(99))}
+		if vf.Verify(sk.Public(), msg, bad) == nil || vf.VerifySpec(sk.Public(), msg, bad) == nil {
+			t.Fatal("tampered signature accepted")
+		}
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	kgc, sk, vf := newTestSystem(t, "alice")
+	msg := []byte("telemetry: temp=21.5C")
+	sig, err := Sign(kgc.Params(), sk, msg, fixedRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("message", func(t *testing.T) {
+		if err := vf.Verify(sk.Public(), []byte("telemetry: temp=99.9C"), sig); !errors.Is(err, ErrVerifyFailed) {
+			t.Fatalf("want ErrVerifyFailed, got %v", err)
+		}
+	})
+	t.Run("V", func(t *testing.T) {
+		bad := &Signature{V: new(big.Int).Add(sig.V, big.NewInt(1)), S: sig.S, R: sig.R}
+		if err := vf.Verify(sk.Public(), msg, bad); err == nil {
+			t.Fatal("accepted tampered V")
+		}
+	})
+	t.Run("S", func(t *testing.T) {
+		bad := &Signature{V: sig.V, S: new(bn254.G2).Add(sig.S, bn254.G2Generator()), R: sig.R}
+		if err := vf.Verify(sk.Public(), msg, bad); err == nil {
+			t.Fatal("accepted tampered S")
+		}
+	})
+	t.Run("R", func(t *testing.T) {
+		bad := &Signature{V: sig.V, S: sig.S, R: new(bn254.G1).Add(sig.R, bn254.G1Generator())}
+		if err := vf.Verify(sk.Public(), msg, bad); err == nil {
+			t.Fatal("accepted tampered R")
+		}
+	})
+	t.Run("wrong identity", func(t *testing.T) {
+		forged := &PublicKey{ID: "bob", PID: sk.Public().PID}
+		if err := vf.Verify(forged, msg, sig); err == nil {
+			t.Fatal("signature verified under a different identity")
+		}
+	})
+	t.Run("wrong public key", func(t *testing.T) {
+		forged := &PublicKey{ID: sk.ID(), PID: new(bn254.G1).ScalarBaseMult(big.NewInt(12345))}
+		if err := vf.Verify(forged, msg, sig); err == nil {
+			t.Fatal("signature verified under a replaced public key")
+		}
+	})
+}
+
+func TestCrossUserSignaturesRejected(t *testing.T) {
+	rng := fixedRand(9)
+	kgc, err := Setup(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkUser := func(id string) *PrivateKey {
+		sk, err := GenerateKeyPair(kgc.Params(), kgc.ExtractPartialPrivateKey(id), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sk
+	}
+	alice, bob := mkUser("alice"), mkUser("bob")
+	vf := NewVerifier(kgc.Params())
+	msg := []byte("hello")
+	sig, err := Sign(kgc.Params(), alice, msg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vf.Verify(bob.Public(), msg, sig); err == nil {
+		t.Fatal("alice's signature verified as bob's")
+	}
+}
+
+func TestVerifierAcrossSystems(t *testing.T) {
+	// A signature from system A must not verify under system B's params.
+	rngA, rngB := fixedRand(20), fixedRand(21)
+	kgcA, _ := Setup(rngA)
+	kgcB, _ := Setup(rngB)
+	skA, err := GenerateKeyPair(kgcA.Params(), kgcA.ExtractPartialPrivateKey("n1"), rngA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("x")
+	sig, err := Sign(kgcA.Params(), skA, msg, rngA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewVerifier(kgcB.Params()).Verify(skA.Public(), msg, sig); err == nil {
+		t.Fatal("cross-system verification succeeded")
+	}
+}
+
+func TestPartialKeyValidate(t *testing.T) {
+	rng := fixedRand(4)
+	kgc, _ := Setup(rng)
+	ppk := kgc.ExtractPartialPrivateKey("alice")
+	if err := ppk.Validate(kgc.Params()); err != nil {
+		t.Fatalf("valid partial key rejected: %v", err)
+	}
+	// Key for a different identity must fail validation under this ID.
+	forged := &PartialPrivateKey{ID: "alice", D: kgc.ExtractPartialPrivateKey("mallory").D}
+	if err := forged.Validate(kgc.Params()); err == nil {
+		t.Fatal("accepted partial key for the wrong identity")
+	}
+	// Garbage D must fail.
+	bad := &PartialPrivateKey{ID: "alice", D: bn254.G2Infinity()}
+	if err := bad.Validate(kgc.Params()); err == nil {
+		t.Fatal("accepted identity element as partial key")
+	}
+	// GenerateKeyPair must refuse an invalid partial key.
+	if _, err := GenerateKeyPair(kgc.Params(), forged, rng); err == nil {
+		t.Fatal("keygen accepted invalid partial key")
+	}
+}
+
+func TestKGCFromMaster(t *testing.T) {
+	rng := fixedRand(5)
+	kgc, _ := Setup(rng)
+	clone, err := NewKGCFromMaster(kgc.MasterKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clone.Params().Ppub.Equal(kgc.Params().Ppub) {
+		t.Fatal("restored KGC has different P_pub")
+	}
+	for _, bad := range []*big.Int{nil, big.NewInt(0), new(big.Int).Set(bn254.Order)} {
+		if _, err := NewKGCFromMaster(bad); err == nil {
+			t.Fatalf("accepted invalid master key %v", bad)
+		}
+	}
+}
+
+func TestPrivateKeyFromSecretDeterministic(t *testing.T) {
+	rng := fixedRand(6)
+	kgc, _ := Setup(rng)
+	ppk := kgc.ExtractPartialPrivateKey("alice")
+	sk, err := GenerateKeyPair(kgc.Params(), ppk, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk2, err := NewPrivateKeyFromSecret(kgc.Params(), ppk, sk.SecretValue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sk2.Public().PID.Equal(sk.Public().PID) {
+		t.Fatal("rebuilt key has different public key")
+	}
+	msg := []byte("m")
+	sig, err := Sign(kgc.Params(), sk2, msg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewVerifier(kgc.Params()).Verify(sk.Public(), msg, sig); err != nil {
+		t.Fatal("signature from rebuilt key rejected")
+	}
+	if _, err := NewPrivateKeyFromSecret(kgc.Params(), ppk, big.NewInt(0)); err == nil {
+		t.Fatal("accepted zero secret value")
+	}
+}
+
+func TestSignatureMarshalRoundTrip(t *testing.T) {
+	kgc, sk, vf := newTestSystem(t, "alice")
+	msg := []byte("serialize me")
+	sig, err := Sign(kgc.Params(), sk, msg, fixedRand(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := sig.Marshal()
+	if len(enc) != signatureMarshalledSize {
+		t.Fatalf("marshalled size %d, want %d", len(enc), signatureMarshalledSize)
+	}
+	dec, err := UnmarshalSignature(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vf.Verify(sk.Public(), msg, dec); err != nil {
+		t.Fatalf("decoded signature rejected: %v", err)
+	}
+	// Truncation, corruption, zero V.
+	if _, err := UnmarshalSignature(enc[:len(enc)-1]); err == nil {
+		t.Fatal("accepted truncated signature")
+	}
+	bad := bytes.Clone(enc)
+	for i := range bad[:32] {
+		bad[i] = 0
+	}
+	if _, err := UnmarshalSignature(bad); err == nil {
+		t.Fatal("accepted zero V")
+	}
+	bad = bytes.Clone(enc)
+	bad[40] ^= 0xFF // corrupt S
+	if _, err := UnmarshalSignature(bad); err == nil {
+		t.Fatal("accepted corrupted S encoding")
+	}
+}
+
+func TestPublicKeyAndParamsMarshal(t *testing.T) {
+	kgc, sk, _ := newTestSystem(t, "alice")
+	pk2, err := UnmarshalPublicKey(sk.Public().Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk2.ID != "alice" || !pk2.PID.Equal(sk.Public().PID) {
+		t.Fatal("public key round trip mismatch")
+	}
+	params2, err := UnmarshalParams(kgc.Params().Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !params2.Ppub.Equal(kgc.Params().Ppub) {
+		t.Fatal("params round trip mismatch")
+	}
+	if _, err := UnmarshalParams(make([]byte, paramsMarshalledSize)); err == nil {
+		t.Fatal("accepted identity P_pub")
+	}
+	if _, err := UnmarshalPublicKey([]byte{1}); err == nil {
+		t.Fatal("accepted truncated public key")
+	}
+}
+
+func TestPartialKeyMarshalRoundTrip(t *testing.T) {
+	kgc, _, _ := newTestSystem(t, "alice")
+	ppk := kgc.ExtractPartialPrivateKey("alice")
+	dec, err := UnmarshalPartialPrivateKey(ppk.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.ID != ppk.ID || !dec.D.Equal(ppk.D) {
+		t.Fatal("partial key round trip mismatch")
+	}
+	if err := dec.Validate(kgc.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalPartialPrivateKey([]byte{0, 0}); err == nil {
+		t.Fatal("accepted truncated partial key")
+	}
+}
+
+func TestBatchVerify(t *testing.T) {
+	kgc, sk, vf := newTestSystem(t, "sensor-17")
+	rng := fixedRand(30)
+	const n = 5
+	msgs := make([][]byte, n)
+	sigs := make([]*Signature, n)
+	for i := range msgs {
+		msgs[i] = []byte{byte(i), byte(i * 3)}
+		sig, err := Sign(kgc.Params(), sk, msgs[i], rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigs[i] = sig
+	}
+	if err := vf.BatchVerify(sk.Public(), msgs, sigs); err != nil {
+		t.Fatalf("valid batch rejected: %v", err)
+	}
+	// One tampered message must fail the whole batch.
+	tampered := bytes.Clone(msgs[2])
+	tampered[0] ^= 1
+	badMsgs := append([][]byte{}, msgs...)
+	badMsgs[2] = tampered
+	if err := vf.BatchVerify(sk.Public(), badMsgs, sigs); !errors.Is(err, ErrVerifyFailed) {
+		t.Fatalf("tampered batch accepted: %v", err)
+	}
+	// Mixed signers must be rejected structurally.
+	other, err := GenerateKeyPair(kgc.Params(), kgc.ExtractPartialPrivateKey("sensor-18"), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign, err := Sign(kgc.Params(), other, msgs[0], rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := append([]*Signature{}, sigs...)
+	mixed[0] = foreign
+	if err := vf.BatchVerify(sk.Public(), msgs, mixed); err == nil {
+		t.Fatal("batch with foreign S accepted")
+	}
+	// Length mismatch and empty batch.
+	if err := vf.BatchVerify(sk.Public(), msgs[:2], sigs); !errors.Is(err, ErrBatchMismatch) {
+		t.Fatal("length mismatch not detected")
+	}
+	if err := vf.BatchVerify(sk.Public(), nil, nil); err != nil {
+		t.Fatal("empty batch should verify")
+	}
+}
+
+func TestVerifierCache(t *testing.T) {
+	kgc, sk, vf := newTestSystem(t, "alice")
+	if vf.CacheLen() != 0 {
+		t.Fatal("fresh verifier has cached entries")
+	}
+	msg := []byte("m")
+	sig, err := Sign(kgc.Params(), sk, msg, fixedRand(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := vf.Verify(sk.Public(), msg, sig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if vf.CacheLen() != 1 {
+		t.Fatalf("cache length %d, want 1", vf.CacheLen())
+	}
+}
+
+func TestVerifyShapeErrors(t *testing.T) {
+	kgc, sk, vf := newTestSystem(t, "alice")
+	msg := []byte("m")
+	sig, err := Sign(kgc.Params(), sk, msg, fixedRand(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		pk   *PublicKey
+		sig  *Signature
+	}{
+		{"nil signature", sk.Public(), nil},
+		{"nil V", sk.Public(), &Signature{V: nil, S: sig.S, R: sig.R}},
+		{"zero V", sk.Public(), &Signature{V: big.NewInt(0), S: sig.S, R: sig.R}},
+		{"huge V", sk.Public(), &Signature{V: new(big.Int).Set(bn254.Order), S: sig.S, R: sig.R}},
+		{"identity S", sk.Public(), &Signature{V: sig.V, S: bn254.G2Infinity(), R: sig.R}},
+		{"nil pk", nil, sig},
+		{"identity PID", &PublicKey{ID: "alice", PID: bn254.G1Infinity()}, sig},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := vf.Verify(tc.pk, msg, tc.sig); err == nil {
+				t.Fatal("shape-invalid input accepted")
+			}
+		})
+	}
+	_ = kgc
+}
+
+func TestVerifyBatchMulti(t *testing.T) {
+	rng := fixedRand(50)
+	kgc, err := Setup(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vf := NewVerifier(kgc.Params())
+	const n = 4
+	pks := make([]*PublicKey, n)
+	msgs := make([][]byte, n)
+	sigs := make([]*Signature, n)
+	for i := 0; i < n; i++ {
+		id := string(rune('a' + i))
+		sk, err := GenerateKeyPair(kgc.Params(), kgc.ExtractPartialPrivateKey(id), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pks[i] = sk.Public()
+		msgs[i] = []byte{byte(i), byte(i * 7)}
+		if sigs[i], err = Sign(kgc.Params(), sk, msgs[i], rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := vf.VerifyBatchMulti(pks, msgs, sigs, rng); err != nil {
+		t.Fatalf("valid multi-signer batch rejected: %v", err)
+	}
+	// One tampered message fails the batch.
+	bad := append([][]byte{}, msgs...)
+	bad[2] = []byte("tampered")
+	if err := vf.VerifyBatchMulti(pks, bad, sigs, rng); !errors.Is(err, ErrVerifyFailed) {
+		t.Fatalf("tampered multi batch accepted: %v", err)
+	}
+	// Swapped signatures between signers fail.
+	swapped := append([]*Signature{}, sigs...)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	if err := vf.VerifyBatchMulti(pks, msgs, swapped, rng); err == nil {
+		t.Fatal("swapped signatures accepted")
+	}
+	// Length mismatch and empty batch.
+	if err := vf.VerifyBatchMulti(pks[:1], msgs, sigs, rng); !errors.Is(err, ErrBatchMismatch) {
+		t.Fatal("length mismatch not detected")
+	}
+	if err := vf.VerifyBatchMulti(nil, nil, nil, rng); err != nil {
+		t.Fatal("empty batch should verify")
+	}
+}
+
+func TestRekey(t *testing.T) {
+	rng := fixedRand(51)
+	kgc, err := Setup(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vf := NewVerifier(kgc.Params())
+	sk, err := GenerateKeyPair(kgc.Params(), kgc.ExtractPartialPrivateKey("alice"), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("before rekey")
+	oldSig, err := Sign(kgc.Params(), sk, msg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk2, err := sk.Rekey(kgc.Params(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk2.Public().PID.Equal(sk.Public().PID) {
+		t.Fatal("rekey kept the same public key")
+	}
+	if sk2.ID() != sk.ID() {
+		t.Fatal("rekey changed the identity")
+	}
+	newSig, err := Sign(kgc.Params(), sk2, msg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New signatures verify under the new public key only.
+	if err := vf.Verify(sk2.Public(), msg, newSig); err != nil {
+		t.Fatalf("post-rekey signature rejected: %v", err)
+	}
+	if err := vf.Verify(sk.Public(), msg, newSig); err == nil {
+		t.Fatal("post-rekey signature verified under old key")
+	}
+	// Old signatures remain valid under the old public key.
+	if err := vf.Verify(sk.Public(), msg, oldSig); err != nil {
+		t.Fatalf("pre-rekey signature rejected: %v", err)
+	}
+}
+
+func TestCompactSignatureRoundTrip(t *testing.T) {
+	kgc, sk, vf := newTestSystem(t, "alice")
+	msg := []byte("compact")
+	sig, err := Sign(kgc.Params(), sk, msg, fixedRand(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := sig.MarshalCompact()
+	if len(enc) != CompactSignatureSize {
+		t.Fatalf("compact size %d, want %d", len(enc), CompactSignatureSize)
+	}
+	if len(enc) >= len(sig.Marshal()) {
+		t.Fatal("compact encoding not smaller than the plain one")
+	}
+	dec, err := UnmarshalSignatureCompact(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vf.Verify(sk.Public(), msg, dec); err != nil {
+		t.Fatalf("decoded compact signature rejected: %v", err)
+	}
+	if _, err := UnmarshalSignatureCompact(enc[:10]); err == nil {
+		t.Fatal("accepted truncated compact signature")
+	}
+	bad := append([]byte{}, enc...)
+	bad[40] ^= 0xFF
+	if _, err := UnmarshalSignatureCompact(bad); err == nil {
+		t.Fatal("accepted corrupted compact signature")
+	}
+}
+
+func FuzzUnmarshalSignature(f *testing.F) {
+	rng := fixedRand(61)
+	kgc, err := Setup(rng)
+	if err != nil {
+		f.Fatal(err)
+	}
+	sk, err := GenerateKeyPair(kgc.Params(), kgc.ExtractPartialPrivateKey("fz"), rng)
+	if err != nil {
+		f.Fatal(err)
+	}
+	sig, err := Sign(kgc.Params(), sk, []byte("seed"), rng)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sig.Marshal())
+	f.Add(make([]byte, SignatureSize))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := UnmarshalSignature(data)
+		if err != nil {
+			return
+		}
+		// Anything accepted must re-marshal identically.
+		if string(dec.Marshal()) != string(data) {
+			t.Fatal("non-canonical signature encoding accepted")
+		}
+	})
+}
+
+func FuzzUnmarshalPublicKey(f *testing.F) {
+	rng := fixedRand(62)
+	kgc, err := Setup(rng)
+	if err != nil {
+		f.Fatal(err)
+	}
+	sk, err := GenerateKeyPair(kgc.Params(), kgc.ExtractPartialPrivateKey("fz"), rng)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sk.Public().Marshal())
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pk, err := UnmarshalPublicKey(data)
+		if err != nil {
+			return
+		}
+		if string(pk.Marshal()) != string(data) {
+			t.Fatal("non-canonical public key encoding accepted")
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"mccls/internal/bn254"
+)
+
+// PublicKey is a user's certificateless public key P_ID = x·P_pub. There is
+// no certificate: the key is transmitted alongside signatures (or through
+// any directory) and its binding to the identity is enforced by the
+// verification equation itself.
+type PublicKey struct {
+	ID  string
+	PID *bn254.G1
+}
+
+// publicKeyMarshalledSize is the byte length of the point part of a
+// marshalled public key.
+const publicKeyMarshalledSize = 64
+
+// Marshal encodes the public key as len(ID)‖ID‖P_ID.
+func (pk *PublicKey) Marshal() []byte {
+	out := appendLengthPrefixed(nil, []byte(pk.ID))
+	return append(out, pk.PID.Marshal()...)
+}
+
+// UnmarshalPublicKey decodes a public key, validating the embedded point.
+func UnmarshalPublicKey(data []byte) (*PublicKey, error) {
+	id, rest, err := readLengthPrefixed(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidKey, err)
+	}
+	var pid bn254.G1
+	if err := pid.Unmarshal(rest); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidKey, err)
+	}
+	if pid.IsInfinity() {
+		return nil, fmt.Errorf("%w: P_ID is the identity element", ErrInvalidKey)
+	}
+	return &PublicKey{ID: string(id), PID: &pid}, nil
+}
+
+// PrivateKey is a user's full signing key: the secret value x chosen by the
+// user, and S = x⁻¹·D_ID, the message-independent half of every signature
+// (precomputed once, as the paper's operation counts assume).
+type PrivateKey struct {
+	pub *PublicKey
+	x   *big.Int
+	s   *bn254.G2
+}
+
+// GenerateKeyPair runs the Generate-Key-Pair algorithm: draw the secret
+// value x ← Zr*, set P_ID = x·P_pub and precompute S = x⁻¹·D_ID. The partial
+// key is validated first so a corrupted KGC response is caught here rather
+// than at first verification failure. Passing a nil reader uses crypto/rand.
+func GenerateKeyPair(params *Params, ppk *PartialPrivateKey, rng io.Reader) (*PrivateKey, error) {
+	if err := ppk.Validate(params); err != nil {
+		return nil, err
+	}
+	x, err := bn254.RandomScalar(rng)
+	if err != nil {
+		return nil, fmt.Errorf("mccls: keygen: %w", err)
+	}
+	return newPrivateKey(params, ppk, x)
+}
+
+// NewPrivateKeyFromSecret deterministically rebuilds a private key from a
+// stored secret value x and the partial private key.
+func NewPrivateKeyFromSecret(params *Params, ppk *PartialPrivateKey, x *big.Int) (*PrivateKey, error) {
+	if x == nil || x.Sign() <= 0 || x.Cmp(bn254.Order) >= 0 {
+		return nil, fmt.Errorf("%w: secret value out of range", ErrInvalidKey)
+	}
+	if err := ppk.Validate(params); err != nil {
+		return nil, err
+	}
+	return newPrivateKey(params, ppk, new(big.Int).Set(x))
+}
+
+func newPrivateKey(params *Params, ppk *PartialPrivateKey, x *big.Int) (*PrivateKey, error) {
+	xInv := new(big.Int).ModInverse(x, bn254.Order)
+	return &PrivateKey{
+		pub: &PublicKey{ID: ppk.ID, PID: new(bn254.G1).ScalarMult(params.Ppub, x)},
+		x:   x,
+		s:   new(bn254.G2).ScalarMult(ppk.D, xInv),
+	}, nil
+}
+
+// Public returns the corresponding public key.
+func (sk *PrivateKey) Public() *PublicKey { return sk.pub }
+
+// ID returns the identity the key is bound to.
+func (sk *PrivateKey) ID() string { return sk.pub.ID }
+
+// SecretValue returns a copy of x for durable storage.
+func (sk *PrivateKey) SecretValue() *big.Int { return new(big.Int).Set(sk.x) }
+
+// Rekey replaces the user-chosen half of the key — the certificateless
+// "public key replacement" operation: the user draws a fresh secret value
+// x' and derives the new P_ID and S from the same partial private key,
+// with no KGC interaction (D_ID = x·S is recoverable from the old key).
+// Signatures made with the old key keep verifying under the old public
+// key; new signatures verify under the new one. Passing a nil reader uses
+// crypto/rand.
+func (sk *PrivateKey) Rekey(params *Params, rng io.Reader) (*PrivateKey, error) {
+	x, err := bn254.RandomScalar(rng)
+	if err != nil {
+		return nil, fmt.Errorf("mccls: rekey: %w", err)
+	}
+	d := new(bn254.G2).ScalarMult(sk.s, sk.x) // recover D_ID
+	xInv := new(big.Int).ModInverse(x, bn254.Order)
+	return &PrivateKey{
+		pub: &PublicKey{ID: sk.pub.ID, PID: new(bn254.G1).ScalarMult(params.Ppub, x)},
+		x:   x,
+		s:   new(bn254.G2).ScalarMult(d, xInv),
+	}, nil
+}

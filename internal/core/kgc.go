@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"mccls/internal/bn254"
+)
+
+// KGC is the Key Generation Center. It holds the master secret s and issues
+// partial private keys D_ID = s·H1(ID). In a certificateless system the KGC
+// is semi-trusted: it can issue partial keys but cannot sign on behalf of
+// users because it never learns their secret value x.
+type KGC struct {
+	params *Params
+	master *big.Int
+}
+
+// Setup runs the McCLS Setup algorithm: draw a master key s ← Zr* and
+// publish P_pub = s·P. Passing a nil reader uses crypto/rand.
+func Setup(rng io.Reader) (*KGC, error) {
+	s, err := bn254.RandomScalar(rng)
+	if err != nil {
+		return nil, fmt.Errorf("mccls: setup: %w", err)
+	}
+	return NewKGCFromMaster(s)
+}
+
+// NewKGCFromMaster reconstructs a KGC from a stored master key, e.g. after a
+// restart. The master key must be in [1, r).
+func NewKGCFromMaster(s *big.Int) (*KGC, error) {
+	if s == nil || s.Sign() <= 0 || s.Cmp(bn254.Order) >= 0 {
+		return nil, fmt.Errorf("%w: master key out of range", ErrInvalidKey)
+	}
+	master := new(big.Int).Set(s)
+	return &KGC{
+		params: &Params{Ppub: new(bn254.G1).ScalarBaseMult(master)},
+		master: master,
+	}, nil
+}
+
+// Params returns the public system parameters.
+func (k *KGC) Params() *Params { return k.params }
+
+// MasterKey returns a copy of the master secret, for durable storage by the
+// KGC operator. Handle with care.
+func (k *KGC) MasterKey() *big.Int { return new(big.Int).Set(k.master) }
+
+// PartialPrivateKey is the KGC's contribution D_ID = s·Q_ID to a user's
+// signing key. It is bound to the identity it was extracted for.
+type PartialPrivateKey struct {
+	ID string
+	D  *bn254.G2
+}
+
+// ExtractPartialPrivateKey runs the Extract-Partial-Private-Key algorithm
+// for the given identity.
+func (k *KGC) ExtractPartialPrivateKey(id string) *PartialPrivateKey {
+	q := k.params.QID(id)
+	return &PartialPrivateKey{ID: id, D: new(bn254.G2).ScalarMult(q, k.master)}
+}
+
+// Validate checks the partial key against the public parameters:
+// e(P, D_ID) must equal e(P_pub, Q_ID). A user should run this on any
+// partial key received over an untrusted channel before deriving a keypair.
+func (ppk *PartialPrivateKey) Validate(params *Params) error {
+	if ppk.D == nil || ppk.D.IsInfinity() || !ppk.D.IsInSubgroup() {
+		return fmt.Errorf("%w: D_ID not a valid subgroup element", ErrPartialKeyInvalid)
+	}
+	q := params.QID(ppk.ID)
+	negP := new(bn254.G1).Neg(params.Generator())
+	// e(P, D)·e(-P_pub, Q_ID) == 1  ⇔  e(P, D) == e(P_pub, Q_ID)
+	ok := bn254.PairingCheck(
+		[]*bn254.G1{negP, params.Ppub},
+		[]*bn254.G2{ppk.D, q},
+	)
+	// PairingCheck computes Π e(p_i, q_i); we need e(-P, D)·e(P_pub, Q) = 1.
+	if !ok {
+		return ErrPartialKeyInvalid
+	}
+	return nil
+}
+
+// Marshal encodes the partial key as len(ID)‖ID‖D.
+func (ppk *PartialPrivateKey) Marshal() []byte {
+	out := appendLengthPrefixed(nil, []byte(ppk.ID))
+	return append(out, ppk.D.Marshal()...)
+}
+
+// UnmarshalPartialPrivateKey decodes a partial key, validating the embedded
+// point (curve and subgroup membership).
+func UnmarshalPartialPrivateKey(data []byte) (*PartialPrivateKey, error) {
+	id, rest, err := readLengthPrefixed(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidKey, err)
+	}
+	var d bn254.G2
+	if err := d.Unmarshal(rest); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidKey, err)
+	}
+	return &PartialPrivateKey{ID: string(id), D: &d}, nil
+}
+
+func readLengthPrefixed(data []byte) (field, rest []byte, err error) {
+	if len(data) < 8 {
+		return nil, nil, fmt.Errorf("truncated length prefix")
+	}
+	n := uint64(0)
+	for i := 0; i < 8; i++ {
+		n = n<<8 | uint64(data[i])
+	}
+	if n > uint64(len(data)-8) {
+		return nil, nil, fmt.Errorf("length prefix exceeds buffer")
+	}
+	return data[8 : 8+n], data[8+n:], nil
+}

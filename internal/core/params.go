@@ -1,0 +1,98 @@
+// Package core implements McCLS, the certificateless signature scheme of
+// Xu, Liu, Zhang, He, Dai and Shu (ICDCS 2008 Workshops): "A Certificateless
+// Signature Scheme for Mobile Wireless Cyber-Physical Systems".
+//
+// The scheme splits key material between a Key Generation Center (KGC),
+// which issues a partial private key D_ID = s·H1(ID), and the user, who
+// contributes a secret value x. Neither party alone can sign: the KGC never
+// learns x (no key escrow), and the user never learns the master key s
+// (no self-certification). There are no certificates: a verifier needs only
+// the system parameters, the claimed identity and the claimed public key.
+//
+// Signing requires zero pairing operations; verification requires a single
+// pairing beyond the per-identity constant e(P_pub, Q_ID), which Verifier
+// caches — the property the paper leans on for CPS timing budgets.
+//
+// The paper's symmetric pairing is translated to the Type-3 setting (see
+// DESIGN.md §1): ⟨P⟩-side values (P, P_pub, R, P_ID) live in G1 and
+// identity-derived values (Q_ID, D_ID, S) live in G2.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"mccls/internal/bn254"
+)
+
+// Domain-separation tags for the two random oracles.
+const (
+	domainH1 = "mccls/v1/H1" // identities → G2
+	domainH2 = "mccls/v1/H2" // (message, R, P_ID) → Zr*
+)
+
+// Errors returned by verification and decoding. ErrVerifyFailed is the
+// only rejection a protocol should branch on; the rest aid debugging.
+var (
+	ErrVerifyFailed      = errors.New("mccls: signature verification failed")
+	ErrInvalidSignature  = errors.New("mccls: malformed signature")
+	ErrInvalidKey        = errors.New("mccls: malformed key material")
+	ErrPartialKeyInvalid = errors.New("mccls: partial private key does not match identity")
+	ErrBatchMismatch     = errors.New("mccls: batch lengths do not match")
+)
+
+// Params are the public system parameters (P, P_pub, H1, H2) published by
+// the KGC at Setup. P is the fixed G1 generator; the hash functions are
+// fixed domain-separated oracles, so only P_pub varies between systems.
+type Params struct {
+	// Ppub is the KGC master public key s·P.
+	Ppub *bn254.G1
+}
+
+// Generator returns P, the fixed system generator of G1.
+func (*Params) Generator() *bn254.G1 { return bn254.G1Generator() }
+
+// QID computes the identity hash Q_ID = H1(ID) ∈ G2.
+func (*Params) QID(id string) *bn254.G2 {
+	return bn254.HashToG2(domainH1, []byte(id))
+}
+
+// hashH2 computes h = H2(M, R, P_ID) ∈ Zr*, length-prefixing each component
+// so distinct tuples cannot collide.
+func (*Params) hashH2(msg []byte, r *bn254.G1, pid *bn254.G1) *big.Int {
+	buf := make([]byte, 0, 8+len(msg)+2*64)
+	buf = appendLengthPrefixed(buf, msg)
+	buf = append(buf, r.Marshal()...)
+	buf = append(buf, pid.Marshal()...)
+	return bn254.HashToScalar(domainH2, buf)
+}
+
+func appendLengthPrefixed(dst, b []byte) []byte {
+	n := len(b)
+	dst = append(dst, byte(n>>56), byte(n>>48), byte(n>>40), byte(n>>32),
+		byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	return append(dst, b...)
+}
+
+// paramsMarshalledSize is the byte length of marshalled Params.
+const paramsMarshalledSize = 64
+
+// Marshal encodes the parameters (currently just P_pub).
+func (p *Params) Marshal() []byte { return p.Ppub.Marshal() }
+
+// UnmarshalParams decodes parameters produced by Marshal, validating the
+// embedded point.
+func UnmarshalParams(data []byte) (*Params, error) {
+	if len(data) != paramsMarshalledSize {
+		return nil, fmt.Errorf("%w: params want %d bytes, got %d", ErrInvalidKey, paramsMarshalledSize, len(data))
+	}
+	var ppub bn254.G1
+	if err := ppub.Unmarshal(data); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidKey, err)
+	}
+	if ppub.IsInfinity() {
+		return nil, fmt.Errorf("%w: P_pub is the identity", ErrInvalidKey)
+	}
+	return &Params{Ppub: &ppub}, nil
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"mccls/internal/bn254"
+)
+
+// Signature is a McCLS signature σ = (V, S, R): a scalar V = h·r, the
+// key-derived group element S = x⁻¹·D_ID ∈ G2, and the commitment
+// R = (r - x)·P ∈ G1.
+type Signature struct {
+	V *big.Int
+	S *bn254.G2
+	R *bn254.G1
+}
+
+// SignatureSize is the byte length of a marshalled signature:
+// 32 (V) + 128 (S) + 64 (R).
+const SignatureSize = 32 + 128 + 64
+
+// signatureMarshalledSize is retained as the internal alias.
+const signatureMarshalledSize = SignatureSize
+
+// Sign runs CL-Sign: draw r ← Zr*, output (V, S, R) with R = (r-x)·P,
+// h = H2(M, R, P_ID), V = h·r. No pairing operations are performed; the
+// per-message cost is a single G1 scalar multiplication (S is precomputed
+// at key generation). Passing a nil reader uses crypto/rand.
+func Sign(params *Params, sk *PrivateKey, msg []byte, rng io.Reader) (*Signature, error) {
+	r, err := bn254.RandomScalar(rng)
+	if err != nil {
+		return nil, fmt.Errorf("mccls: sign: %w", err)
+	}
+	// R = (r - x)·P. If r == x, R would be the identity and leak x; redraw.
+	k := new(big.Int).Mod(new(big.Int).Sub(r, sk.x), bn254.Order)
+	if k.Sign() == 0 {
+		return Sign(params, sk, msg, rng)
+	}
+	R := new(bn254.G1).ScalarBaseMult(k)
+	h := params.hashH2(msg, R, sk.pub.PID)
+	v := new(big.Int).Mod(new(big.Int).Mul(h, r), bn254.Order)
+	return &Signature{V: v, S: new(bn254.G2).Set(sk.s), R: R}, nil
+}
+
+// Marshal encodes the signature as V‖S‖R.
+func (sig *Signature) Marshal() []byte {
+	out := make([]byte, 0, signatureMarshalledSize)
+	var v [32]byte
+	sig.V.FillBytes(v[:])
+	out = append(out, v[:]...)
+	out = append(out, sig.S.Marshal()...)
+	out = append(out, sig.R.Marshal()...)
+	return out
+}
+
+// UnmarshalSignature decodes and validates a signature: V must be a scalar
+// in [1, r), S a non-identity element of the order-r subgroup of G2, R a
+// point of G1.
+func UnmarshalSignature(data []byte) (*Signature, error) {
+	if len(data) != signatureMarshalledSize {
+		return nil, fmt.Errorf("%w: want %d bytes, got %d", ErrInvalidSignature, signatureMarshalledSize, len(data))
+	}
+	v := new(big.Int).SetBytes(data[:32])
+	if v.Sign() == 0 || v.Cmp(bn254.Order) >= 0 {
+		return nil, fmt.Errorf("%w: V out of range", ErrInvalidSignature)
+	}
+	var s bn254.G2
+	if err := s.Unmarshal(data[32 : 32+128]); err != nil {
+		return nil, fmt.Errorf("%w: S: %v", ErrInvalidSignature, err)
+	}
+	if s.IsInfinity() {
+		return nil, fmt.Errorf("%w: S is the identity", ErrInvalidSignature)
+	}
+	var r bn254.G1
+	if err := r.Unmarshal(data[32+128:]); err != nil {
+		return nil, fmt.Errorf("%w: R: %v", ErrInvalidSignature, err)
+	}
+	return &Signature{V: v, S: &s, R: &r}, nil
+}
+
+// CompactSignatureSize is the byte length of a compact-encoded signature:
+// 32 (V) + 65 (S compressed) + 33 (R compressed).
+const CompactSignatureSize = 32 + 65 + 33
+
+// MarshalCompact encodes the signature with compressed points, 130 bytes
+// instead of 224 — the encoding McCLS-AODV would use on the air where every
+// control byte costs serialization delay.
+func (sig *Signature) MarshalCompact() []byte {
+	out := make([]byte, 0, CompactSignatureSize)
+	var v [32]byte
+	sig.V.FillBytes(v[:])
+	out = append(out, v[:]...)
+	out = append(out, sig.S.MarshalCompressed()...)
+	return append(out, sig.R.MarshalCompressed()...)
+}
+
+// UnmarshalSignatureCompact decodes and validates a compact signature.
+func UnmarshalSignatureCompact(data []byte) (*Signature, error) {
+	if len(data) != CompactSignatureSize {
+		return nil, fmt.Errorf("%w: want %d bytes, got %d", ErrInvalidSignature, CompactSignatureSize, len(data))
+	}
+	v := new(big.Int).SetBytes(data[:32])
+	if v.Sign() == 0 || v.Cmp(bn254.Order) >= 0 {
+		return nil, fmt.Errorf("%w: V out of range", ErrInvalidSignature)
+	}
+	var s bn254.G2
+	if err := s.UnmarshalCompressed(data[32 : 32+65]); err != nil {
+		return nil, fmt.Errorf("%w: S: %v", ErrInvalidSignature, err)
+	}
+	if s.IsInfinity() {
+		return nil, fmt.Errorf("%w: S is the identity", ErrInvalidSignature)
+	}
+	var r bn254.G1
+	if err := r.UnmarshalCompressed(data[32+65:]); err != nil {
+		return nil, fmt.Errorf("%w: R: %v", ErrInvalidSignature, err)
+	}
+	return &Signature{V: v, S: &s, R: &r}, nil
+}

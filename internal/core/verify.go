@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+
+	"mccls/internal/bn254"
+)
+
+// Verifier checks McCLS signatures. It caches the per-identity constant
+// e(P_pub, Q_ID) — the paper's "only one pairing operation since
+// e(P_pub, Q_ID) is a constant" — so steady-state verification costs a
+// single pairing. A Verifier is safe for concurrent use.
+type Verifier struct {
+	params *Params
+
+	mu    sync.Mutex
+	cache map[string]*bn254.GT
+}
+
+// NewVerifier creates a verifier for the given system parameters.
+func NewVerifier(params *Params) *Verifier {
+	return &Verifier{params: params, cache: make(map[string]*bn254.GT)}
+}
+
+// rhs returns the cached e(P_pub, Q_ID) for an identity, computing it on
+// first use.
+func (vf *Verifier) rhs(id string) *bn254.GT {
+	vf.mu.Lock()
+	if gt, ok := vf.cache[id]; ok {
+		vf.mu.Unlock()
+		return gt
+	}
+	vf.mu.Unlock()
+	// Compute outside the lock: pairings are milliseconds.
+	gt := bn254.Pair(vf.params.Ppub, vf.params.QID(id))
+	vf.mu.Lock()
+	vf.cache[id] = gt
+	vf.mu.Unlock()
+	return gt
+}
+
+// CacheLen reports how many identities have cached pairing constants.
+func (vf *Verifier) CacheLen() int {
+	vf.mu.Lock()
+	defer vf.mu.Unlock()
+	return len(vf.cache)
+}
+
+// checkShape rejects structurally invalid signatures before any group math.
+func checkShape(pk *PublicKey, sig *Signature) error {
+	if sig == nil || sig.V == nil || sig.S == nil || sig.R == nil {
+		return fmt.Errorf("%w: missing component", ErrInvalidSignature)
+	}
+	if sig.V.Sign() <= 0 || sig.V.Cmp(bn254.Order) >= 0 {
+		return fmt.Errorf("%w: V out of range", ErrInvalidSignature)
+	}
+	if sig.S.IsInfinity() || !sig.S.IsOnCurve() {
+		return fmt.Errorf("%w: S invalid", ErrInvalidSignature)
+	}
+	if !sig.R.IsOnCurve() {
+		return fmt.Errorf("%w: R invalid", ErrInvalidSignature)
+	}
+	if pk == nil || pk.PID == nil || pk.PID.IsInfinity() || !pk.PID.IsOnCurve() {
+		return fmt.Errorf("%w: public key invalid", ErrInvalidKey)
+	}
+	return nil
+}
+
+// Verify runs CL-Verify: with h = H2(M, R, P_ID), accept iff
+//
+//	e(V·P - h·R, h⁻¹·S) = e(P_pub, Q_ID).
+//
+// The implementation uses the algebraically identical fast path
+// e((V·h⁻¹)·P - R, S) = e(P_pub, Q_ID), trading the G2 scalar
+// multiplication h⁻¹·S for a scalar inversion in Zr (see DESIGN.md §3).
+// It returns nil on success and ErrVerifyFailed (or a shape error) on
+// rejection.
+func (vf *Verifier) Verify(pk *PublicKey, msg []byte, sig *Signature) error {
+	if err := checkShape(pk, sig); err != nil {
+		return err
+	}
+	h := vf.params.hashH2(msg, sig.R, pk.PID)
+	hInv := new(big.Int).ModInverse(h, bn254.Order)
+	// A = (V/h)·P - R
+	a := new(bn254.G1).ScalarBaseMult(new(big.Int).Mul(sig.V, hInv))
+	a.Add(a, new(bn254.G1).Neg(sig.R))
+	if !bn254.Pair(a, sig.S).Equal(vf.rhs(pk.ID)) {
+		return ErrVerifyFailed
+	}
+	return nil
+}
+
+// VerifySpec runs the verification equation exactly as written in the
+// paper — e(V·P - h·R, h⁻¹·S) — without the fast path. It exists to
+// cross-check the optimization and for documentation value; Verify is
+// preferred.
+func (vf *Verifier) VerifySpec(pk *PublicKey, msg []byte, sig *Signature) error {
+	if err := checkShape(pk, sig); err != nil {
+		return err
+	}
+	h := vf.params.hashH2(msg, sig.R, pk.PID)
+	left := new(bn254.G1).ScalarBaseMult(sig.V)
+	left.Add(left, new(bn254.G1).Neg(new(bn254.G1).ScalarMult(sig.R, h)))
+	s := new(bn254.G2).ScalarMult(sig.S, new(big.Int).ModInverse(h, bn254.Order))
+	if !bn254.Pair(left, s).Equal(vf.rhs(pk.ID)) {
+		return ErrVerifyFailed
+	}
+	return nil
+}
+
+// BatchVerify checks n same-signer signatures with a single pairing:
+//
+//	e(Σᵢ((Vᵢ·hᵢ⁻¹)·P - Rᵢ), S) = e(P_pub, Q_ID)ⁿ
+//
+// All signatures must share the same S component (they do when produced by
+// the same private key; S is message-independent). This is the batch
+// behaviour McCLS inherits from the Yoon–Cheon–Kim ID-based scheme it
+// adapts. On any rejection the caller should fall back to one-by-one
+// Verify to locate the offender.
+func (vf *Verifier) BatchVerify(pk *PublicKey, msgs [][]byte, sigs []*Signature) error {
+	if len(msgs) != len(sigs) {
+		return ErrBatchMismatch
+	}
+	if len(sigs) == 0 {
+		return nil
+	}
+	s0 := sigs[0].S
+	acc := bn254.G1Infinity()
+	for i, sig := range sigs {
+		if err := checkShape(pk, sig); err != nil {
+			return err
+		}
+		if !sig.S.Equal(s0) {
+			return fmt.Errorf("%w: batch requires a common S component", ErrBatchMismatch)
+		}
+		h := vf.params.hashH2(msgs[i], sig.R, pk.PID)
+		hInv := new(big.Int).ModInverse(h, bn254.Order)
+		term := new(bn254.G1).ScalarBaseMult(new(big.Int).Mul(sig.V, hInv))
+		term.Add(term, new(bn254.G1).Neg(sig.R))
+		acc.Add(acc, term)
+	}
+	want := new(bn254.GT).Exp(vf.rhs(pk.ID), big.NewInt(int64(len(sigs))))
+	if !bn254.Pair(acc, s0).Equal(want) {
+		return ErrVerifyFailed
+	}
+	return nil
+}
+
+// VerifyBatchMulti checks signatures from *different* signers in one shot.
+// Unlike BatchVerify it cannot collapse to a single pairing (each signer
+// contributes its own S), but it shares one final exponentiation across all
+// Miller loops and randomizes each equation with a fresh weight ρᵢ so an
+// attacker cannot craft signatures whose errors cancel:
+//
+//	Π e(ρᵢ·Aᵢ, Sᵢ) · e(-P_pub, Σᵢ ρᵢ·Q_IDᵢ) = 1,  Aᵢ = (Vᵢ·hᵢ⁻¹)·P - Rᵢ
+//
+// On rejection fall back to per-signature Verify to locate offenders.
+// Passing a nil reader uses crypto/rand for the weights.
+func (vf *Verifier) VerifyBatchMulti(pks []*PublicKey, msgs [][]byte, sigs []*Signature, rng io.Reader) error {
+	if len(pks) != len(msgs) || len(msgs) != len(sigs) {
+		return ErrBatchMismatch
+	}
+	if len(sigs) == 0 {
+		return nil
+	}
+	ps := make([]*bn254.G1, 0, len(sigs)+1)
+	qs := make([]*bn254.G2, 0, len(sigs)+1)
+	qSum := bn254.G2Infinity()
+	for i, sig := range sigs {
+		if err := checkShape(pks[i], sig); err != nil {
+			return err
+		}
+		rho, err := bn254.RandomScalar(rng)
+		if err != nil {
+			return fmt.Errorf("mccls: batch weights: %w", err)
+		}
+		h := vf.params.hashH2(msgs[i], sig.R, pks[i].PID)
+		hInv := new(big.Int).ModInverse(h, bn254.Order)
+		a := new(bn254.G1).ScalarBaseMult(new(big.Int).Mul(sig.V, hInv))
+		a.Add(a, new(bn254.G1).Neg(sig.R))
+		ps = append(ps, a.ScalarMult(a, rho))
+		qs = append(qs, sig.S)
+		qSum.Add(qSum, new(bn254.G2).ScalarMult(vf.params.QID(pks[i].ID), rho))
+	}
+	ps = append(ps, new(bn254.G1).Neg(vf.params.Ppub))
+	qs = append(qs, qSum)
+	if !bn254.PairingCheck(ps, qs) {
+		return ErrVerifyFailed
+	}
+	return nil
+}

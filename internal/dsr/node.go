@@ -1,0 +1,459 @@
+package dsr
+
+import (
+	"slices"
+	"time"
+
+	"mccls/internal/aodv"
+	"mccls/internal/radio"
+	"mccls/internal/sim"
+)
+
+// Config holds the DSR protocol parameters. Zero values select defaults.
+type Config struct {
+	// RequestTTL bounds discovery floods in hops (default 12).
+	RequestTTL int
+	// Retries is how many times a failed discovery repeats (default 2).
+	Retries int
+	// DiscoveryTimeout is the wait per attempt (default 1s).
+	DiscoveryTimeout time.Duration
+	// ForwardJitterMax is the uniform delay before re-flooding a request
+	// (default 25ms) — the window the rushing attack exploits, as in AODV.
+	ForwardJitterMax time.Duration
+	// DataTTL bounds source routes (default 32 hops).
+	DataTTL int
+	// SendBufferCap bounds buffered packets per destination (default 64).
+	SendBufferCap int
+}
+
+func (c Config) withDefaults() Config {
+	if c.RequestTTL == 0 {
+		c.RequestTTL = 12
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.DiscoveryTimeout == 0 {
+		c.DiscoveryTimeout = time.Second
+	}
+	if c.ForwardJitterMax == 0 {
+		c.ForwardJitterMax = 25 * time.Millisecond
+	}
+	if c.DataTTL == 0 {
+		c.DataTTL = 32
+	}
+	if c.SendBufferCap == 0 {
+		c.SendBufferCap = 64
+	}
+	return c
+}
+
+// Stats counts per-node protocol events, mirroring the AODV counters so
+// the same metrics apply.
+type Stats struct {
+	DataSent      uint64
+	DataDelivered uint64
+	DataForwarded uint64
+
+	RequestInitiated uint64
+	RequestRetried   uint64
+	RequestForwarded uint64
+	ReplyOriginated  uint64
+	ReplyForwarded   uint64
+	ErrorSent        uint64
+
+	AuthRejected uint64
+
+	DropNoRoute        uint64
+	DropBufferOverflow uint64
+	DropLinkBreak      uint64
+	DropByAttacker     uint64
+
+	DelaySum   time.Duration
+	DelayCount uint64
+}
+
+// Hooks customize behaviour for attacks and fault injection.
+type Hooks struct {
+	// OnRequest runs after duplicate suppression and authentication;
+	// return false to suppress default processing.
+	OnRequest func(n *Node, from int, req *RouteRequest) bool
+	// FilterData is consulted before forwarding; return false to absorb.
+	FilterData func(n *Node, pkt *DataPacket) bool
+	// ForwardJitter overrides the re-flood jitter draw.
+	ForwardJitter func(n *Node) time.Duration
+	// SkipVerify disables authentication of received control packets.
+	SkipVerify bool
+}
+
+type seenKey struct {
+	origin int
+	id     uint32
+}
+
+type discovery struct {
+	attempts int
+	gen      int
+}
+
+// Node is one DSR router plus its application endpoint.
+type Node struct {
+	ID int
+
+	sim    *sim.Simulator
+	medium *radio.Medium
+	cfg    Config
+	auth   aodv.Authenticator
+
+	reqID   uint32
+	nextPkt uint64
+	cache   map[int][]int // best known source route per destination
+	seen    map[seenKey]bool
+	pending map[int]*discovery
+	buffer  map[int][]*DataPacket
+
+	Hooks     Hooks
+	OnDeliver func(*DataPacket)
+	Stats     Stats
+}
+
+// NewNode creates a DSR agent and registers it with the medium. The
+// Authenticator interface is shared with AODV: the same McCLS
+// authenticators plug in unchanged.
+func NewNode(id int, s *sim.Simulator, medium *radio.Medium, cfg Config, auth aodv.Authenticator) *Node {
+	n := &Node{
+		ID:      id,
+		sim:     s,
+		medium:  medium,
+		cfg:     cfg.withDefaults(),
+		auth:    auth,
+		cache:   make(map[int][]int),
+		seen:    make(map[seenKey]bool),
+		pending: make(map[int]*discovery),
+		buffer:  make(map[int][]*DataPacket),
+	}
+	medium.SetHandler(id, n.handleFrame)
+	return n
+}
+
+// Config returns the node's effective configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// CachedRoute returns a copy of the cached route to dest, if any.
+func (n *Node) CachedRoute(dest int) ([]int, bool) {
+	r, ok := n.cache[dest]
+	return slices.Clone(r), ok
+}
+
+// cacheRoute keeps the shortest known route per destination. Routes start
+// at n.ID.
+func (n *Node) cacheRoute(route []int) {
+	if len(route) < 2 || route[0] != n.ID {
+		return
+	}
+	dest := route[len(route)-1]
+	if cur, ok := n.cache[dest]; ok && len(cur) <= len(route) {
+		return
+	}
+	n.cache[dest] = slices.Clone(route)
+}
+
+// purgeLink removes every cached route using the broken link a→b.
+func (n *Node) purgeLink(a, b int) {
+	for dest, route := range n.cache {
+		for i := 0; i+1 < len(route); i++ {
+			if route[i] == a && route[i+1] == b {
+				delete(n.cache, dest)
+				break
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Application interface
+
+// Send originates a data packet toward dst, discovering a route first if
+// none is cached.
+func (n *Node) Send(dst, bytes int) {
+	n.Stats.DataSent++
+	pkt := &DataPacket{
+		ID:     uint64(n.ID)<<40 | n.nextPkt,
+		Bytes:  bytes,
+		SentAt: n.sim.Now(),
+	}
+	n.nextPkt++
+	if dst == n.ID {
+		n.deliver(pkt)
+		return
+	}
+	if route, ok := n.cache[dst]; ok {
+		pkt.Route, pkt.Idx = slices.Clone(route), 0
+		n.transmitData(pkt)
+		return
+	}
+	q := n.buffer[dst]
+	if len(q) >= n.cfg.SendBufferCap {
+		n.Stats.DropBufferOverflow++
+		return
+	}
+	n.buffer[dst] = append(q, pkt)
+	n.startDiscovery(dst)
+}
+
+func (n *Node) deliver(pkt *DataPacket) {
+	n.Stats.DataDelivered++
+	n.Stats.DelaySum += n.sim.Now() - pkt.SentAt
+	n.Stats.DelayCount++
+	if n.OnDeliver != nil {
+		n.OnDeliver(pkt)
+	}
+}
+
+// transmitData unicasts the packet to the next hop of its source route. A
+// send failure at the originator re-buffers the packet and rediscovers (the
+// RFC's send-buffer retransmission); mid-path failures drop the packet and
+// report the broken link back toward the source.
+func (n *Node) transmitData(pkt *DataPacket) {
+	next := pkt.Route[pkt.Idx+1]
+	if !n.medium.Unicast(n.ID, next, pkt.Bytes+dataWireOverhead+perHopWireSize*len(pkt.Route), pkt) {
+		n.purgeLink(n.ID, next)
+		if pkt.Idx == 0 {
+			dst := pkt.Route[len(pkt.Route)-1]
+			pkt.Route, pkt.Idx = nil, 0
+			if len(n.buffer[dst]) >= n.cfg.SendBufferCap {
+				n.Stats.DropBufferOverflow++
+				return
+			}
+			n.buffer[dst] = append(n.buffer[dst], pkt)
+			n.startDiscovery(dst)
+			return
+		}
+		n.Stats.DropLinkBreak++
+		n.reportBrokenLink(pkt, next)
+	}
+}
+
+// reportBrokenLink sends a RouteError back toward the packet source.
+func (n *Node) reportBrokenLink(pkt *DataPacket, next int) {
+	if pkt.Idx == 0 {
+		return // we are the source; cache already purged
+	}
+	rerr := &RouteError{From: n.ID, To: next, Sender: n.ID}
+	auth, delay := n.auth.Sign(n.ID, rerr.Encode())
+	rerr.Auth = auth
+	n.Stats.ErrorSent++
+	prev := pkt.Route[pkt.Idx-1]
+	n.sim.Schedule(delay, func() {
+		n.medium.Unicast(n.ID, prev, errorWireSize+n.auth.Overhead(), rerr)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Discovery
+
+func (n *Node) startDiscovery(dst int) {
+	if _, busy := n.pending[dst]; busy {
+		return
+	}
+	d := &discovery{attempts: 1}
+	n.pending[dst] = d
+	n.Stats.RequestInitiated++
+	n.issueRequest(dst, d)
+}
+
+func (n *Node) issueRequest(dst int, d *discovery) {
+	n.reqID++
+	req := &RouteRequest{
+		ID:     n.reqID,
+		Origin: n.ID,
+		Target: dst,
+		Route:  []int{n.ID},
+		TTL:    n.cfg.RequestTTL,
+	}
+	n.seen[seenKey{origin: n.ID, id: req.ID}] = true
+	n.broadcastRequest(req)
+
+	gen := d.gen
+	n.sim.Schedule(n.cfg.DiscoveryTimeout, func() {
+		cur, ok := n.pending[dst]
+		if !ok || cur.gen != gen {
+			return
+		}
+		if cur.attempts > n.cfg.Retries {
+			n.Stats.DropNoRoute += uint64(len(n.buffer[dst]))
+			delete(n.buffer, dst)
+			delete(n.pending, dst)
+			return
+		}
+		cur.attempts++
+		cur.gen++
+		n.Stats.RequestRetried++
+		n.issueRequest(dst, cur)
+	})
+}
+
+func (n *Node) broadcastRequest(req *RouteRequest) {
+	req.Sender = n.ID
+	auth, delay := n.auth.Sign(n.ID, req.Encode())
+	req.Auth = auth
+	n.sim.Schedule(delay, func() {
+		n.medium.Broadcast(n.ID, req.wireSize(n.auth.Overhead()), req)
+	})
+}
+
+// SendReply signs a route reply as this node and unicasts it to the given
+// next hop. Exported for attack behaviours.
+func (n *Node) SendReply(to int, rep *RouteReply) {
+	rep.Sender = n.ID
+	auth, delay := n.auth.Sign(n.ID, rep.Encode())
+	rep.Auth = auth
+	n.sim.Schedule(delay, func() {
+		n.medium.Unicast(n.ID, to, rep.wireSize(n.auth.Overhead()), rep)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+
+func (n *Node) handleFrame(from int, payload any) {
+	switch msg := payload.(type) {
+	case *RouteRequest:
+		cp := *msg
+		cp.Route = slices.Clone(msg.Route)
+		n.receiveControl(from, cp.Encode(), cp.Auth, cp.Sender, func() { n.processRequest(from, cp) })
+	case *RouteReply:
+		cp := *msg
+		cp.Route = slices.Clone(msg.Route)
+		n.receiveControl(from, cp.Encode(), cp.Auth, cp.Sender, func() { n.processReply(from, cp) })
+	case *RouteError:
+		cp := *msg
+		n.receiveControl(from, cp.Encode(), cp.Auth, cp.Sender, func() { n.processError(from, cp) })
+	case *DataPacket:
+		cp := *msg
+		cp.Route = slices.Clone(msg.Route)
+		n.processData(&cp)
+	}
+}
+
+func (n *Node) receiveControl(from int, payload, auth []byte, sender int, process func()) {
+	if n.Hooks.SkipVerify {
+		process()
+		return
+	}
+	if sender != from {
+		n.Stats.AuthRejected++
+		return
+	}
+	ok, delay := n.auth.Verify(sender, payload, auth)
+	n.sim.Schedule(delay, func() {
+		if !ok {
+			n.Stats.AuthRejected++
+			return
+		}
+		process()
+	})
+}
+
+func (n *Node) processRequest(from int, req RouteRequest) {
+	if slices.Contains(req.Route, n.ID) {
+		return // loop (or our own flood echoed)
+	}
+	key := seenKey{origin: req.Origin, id: req.ID}
+	if n.seen[key] {
+		return
+	}
+	n.seen[key] = true
+	if len(n.seen) > 8192 {
+		n.seen = make(map[seenKey]bool) // coarse reset; ids keep growing
+	}
+
+	if n.Hooks.OnRequest != nil && !n.Hooks.OnRequest(n, from, &req) {
+		return
+	}
+
+	walked := append(slices.Clone(req.Route), n.ID)
+	// Cache the reverse path this request just demonstrated (self → origin).
+	rev := slices.Clone(walked)
+	slices.Reverse(rev)
+	n.cacheRoute(rev)
+
+	if req.Target == n.ID {
+		n.Stats.ReplyOriginated++
+		n.SendReply(from, &RouteReply{Route: walked})
+		return
+	}
+	if req.TTL <= 1 {
+		return
+	}
+	fwd := req
+	fwd.Route = walked
+	fwd.TTL--
+	n.Stats.RequestForwarded++
+	n.sim.Schedule(n.drawJitter(), func() { n.broadcastRequest(&fwd) })
+}
+
+func (n *Node) drawJitter() time.Duration {
+	if n.Hooks.ForwardJitter != nil {
+		return n.Hooks.ForwardJitter(n)
+	}
+	if n.cfg.ForwardJitterMax <= 0 {
+		return 0
+	}
+	return time.Duration(n.sim.Rand().Int63n(int64(n.cfg.ForwardJitterMax)))
+}
+
+func (n *Node) processReply(from int, rep RouteReply) {
+	idx := slices.Index(rep.Route, n.ID)
+	if idx < 0 {
+		return // not on the path; stray
+	}
+	// Cache the forward suffix (self → target).
+	n.cacheRoute(rep.Route[idx:])
+	if idx == 0 {
+		// We are the originator: discovery complete.
+		dst := rep.Route[len(rep.Route)-1]
+		if d, ok := n.pending[dst]; ok {
+			d.gen++
+			delete(n.pending, dst)
+		}
+		route, ok := n.cache[dst]
+		if !ok {
+			return
+		}
+		for _, pkt := range n.buffer[dst] {
+			pkt.Route, pkt.Idx = slices.Clone(route), 0
+			n.transmitData(pkt)
+		}
+		delete(n.buffer, dst)
+		return
+	}
+	n.Stats.ReplyForwarded++
+	n.SendReply(rep.Route[idx-1], &rep)
+}
+
+func (n *Node) processError(_ int, rerr RouteError) {
+	n.purgeLink(rerr.From, rerr.To)
+}
+
+func (n *Node) processData(pkt *DataPacket) {
+	idx := slices.Index(pkt.Route, n.ID)
+	if idx < 0 || idx != pkt.Idx+1 {
+		return // misrouted frame
+	}
+	pkt.Idx = idx
+	if idx == len(pkt.Route)-1 {
+		n.deliver(pkt)
+		return
+	}
+	if len(pkt.Route) > n.cfg.DataTTL {
+		n.Stats.DropNoRoute++
+		return
+	}
+	if n.Hooks.FilterData != nil && !n.Hooks.FilterData(n, pkt) {
+		n.Stats.DropByAttacker++
+		return
+	}
+	n.Stats.DataForwarded++
+	n.transmitData(pkt)
+}

@@ -1,0 +1,384 @@
+package experiments
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// quick returns a small, fast scenario for integration tests.
+func quick() Scenario {
+	return Scenario{
+		Duration: 60 * time.Second,
+		MaxSpeed: 5,
+		Seed:     11,
+	}
+}
+
+func TestScenarioBaselineHealthy(t *testing.T) {
+	sc := quick()
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DataSent == 0 {
+		t.Fatal("no traffic generated")
+	}
+	if pdr := res.PacketDeliveryRatio(); pdr < 0.9 {
+		t.Fatalf("baseline PDR = %.3f, want healthy network (≥0.9)", pdr)
+	}
+	if res.EndToEndDelay() <= 0 {
+		t.Fatal("no delay recorded")
+	}
+	if res.PacketDropRatio() != 0 {
+		t.Fatal("attacker drops without an attack")
+	}
+}
+
+func TestScenarioDeterministic(t *testing.T) {
+	sc := quick()
+	r1, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Summary != r2.Summary {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", r1.Summary, r2.Summary)
+	}
+	sc.Seed++
+	r3, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Summary == r3.Summary {
+		t.Fatal("different seeds produced identical results")
+	}
+}
+
+func TestAttacksDegradePlainAODV(t *testing.T) {
+	for _, atk := range []AttackMode{Blackhole, Rushing} {
+		sc := quick()
+		sc.Attack = atk
+		res, err := sc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PacketDropRatio() == 0 {
+			t.Fatalf("%v attack absorbed nothing", atk)
+		}
+		base := quick()
+		baseRes, err := base.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PacketDeliveryRatio() >= baseRes.PacketDeliveryRatio() {
+			t.Fatalf("%v attack did not reduce PDR (%.3f vs %.3f)",
+				atk, res.PacketDeliveryRatio(), baseRes.PacketDeliveryRatio())
+		}
+	}
+}
+
+func TestMcCLSResistsAttacks(t *testing.T) {
+	for _, atk := range []AttackMode{Blackhole, Rushing} {
+		sc := quick()
+		sc.Security = McCLSCost
+		sc.Attack = atk
+		res, err := sc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The paper's headline claim: "McCLS scheme is able to detect all
+		// black hole attack and rushing attack and the packet drop ratio
+		// is zero."
+		if res.PacketDropRatio() != 0 {
+			t.Fatalf("McCLS under %v: drop ratio %.3f, want 0", atk, res.PacketDropRatio())
+		}
+		if res.AuthRejected == 0 {
+			t.Fatalf("McCLS under %v rejected nothing", atk)
+		}
+		if pdr := res.PacketDeliveryRatio(); pdr < 0.9 {
+			t.Fatalf("McCLS under %v: PDR %.3f collapsed", atk, pdr)
+		}
+	}
+}
+
+// TestRealCryptoMatchesCostModel is the equivalence claim from DESIGN.md:
+// with crypto randomness decoupled from the simulation stream, a run with
+// real McCLS signatures makes exactly the same routing decisions as the
+// cost model.
+func TestRealCryptoMatchesCostModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real pairing crypto per control packet")
+	}
+	base := Scenario{
+		Nodes:    8,
+		Width:    800,
+		Height:   300,
+		Duration: 20 * time.Second,
+		MaxSpeed: 5,
+		Flows:    3,
+		Seed:     4,
+		Attack:   Blackhole,
+	}
+	costSc := base
+	costSc.Security = McCLSCost
+	realSc := base
+	realSc.Security = McCLSReal
+
+	costRes, err := costSc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	realRes, err := realSc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costRes.Summary != realRes.Summary {
+		t.Fatalf("cost model and real crypto diverged:\ncost: %+v\nreal: %+v",
+			costRes.Summary, realRes.Summary)
+	}
+	if realRes.PacketDropRatio() != 0 {
+		t.Fatal("real-crypto McCLS leaked packets to the attacker")
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	cfg := SweepConfig{
+		Base:    Scenario{Duration: 40 * time.Second},
+		Speeds:  []float64{1, 20},
+		Repeats: 2,
+		Seed:    5,
+	}
+	fig, err := Figure1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("want 2 series, got %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Y) != 2 {
+			t.Fatalf("series %s has %d points", s.Label, len(s.Y))
+		}
+		for _, y := range s.Y {
+			if y <= 0 || y > 1 {
+				t.Fatalf("PDR out of range: %v", y)
+			}
+		}
+	}
+	// AODV ≈ McCLS: within a few percent at each speed (paper: "without
+	// causing any substantial degradation").
+	a, m := fig.Series[0], fig.Series[1]
+	for i := range a.Y {
+		diff := a.Y[i] - m.Y[i]
+		if diff < -0.05 || diff > 0.05 {
+			t.Fatalf("AODV and McCLS PDR diverge at speed %v: %.3f vs %.3f",
+				a.X[i], a.Y[i], m.Y[i])
+		}
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	cfg := SweepConfig{
+		Base:    Scenario{Duration: 40 * time.Second},
+		Speeds:  []float64{5},
+		Repeats: 2,
+		Seed:    6,
+	}
+	fig, err := Figure5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]float64{}
+	for _, s := range fig.Series {
+		byLabel[s.Label] = s.Y[0]
+	}
+	if byLabel["AODV black hole"] == 0 || byLabel["AODV rushing"] == 0 {
+		t.Fatalf("plain AODV shows no attacker drops: %+v", byLabel)
+	}
+	if byLabel["McCLS black hole"] != 0 || byLabel["McCLS rushing"] != 0 {
+		t.Fatalf("McCLS drop ratio nonzero: %+v", byLabel)
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	fig := Figure{
+		ID: "figX", Title: "T", XLabel: "x", YLabel: "y",
+		Series: []Series{{Label: "A", X: []float64{1, 2}, Y: []float64{0.5, 0.25}}},
+	}
+	txt := fig.Render()
+	if !strings.Contains(txt, "figX") || !strings.Contains(txt, "0.500") {
+		t.Fatalf("render missing content:\n%s", txt)
+	}
+	csv := fig.CSV()
+	if !strings.HasPrefix(csv, "speed,A\n") || !strings.Contains(csv, "1,0.5000") {
+		t.Fatalf("csv malformed:\n%s", csv)
+	}
+}
+
+func TestTable1RowsAndOrdering(t *testing.T) {
+	rows, err := Table1(1, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(rows))
+	}
+	want := map[string][2]string{
+		"AP":    {"1p+3s", "4p+1e"},
+		"ZWXF":  {"4s", "4p+3s"},
+		"YHG":   {"2s", "2p+3s"},
+		"McCLS": {"2s", "1p+1s"},
+	}
+	var mcclsVerify, apVerify time.Duration
+	for _, r := range rows {
+		w, ok := want[r.Scheme]
+		if !ok {
+			t.Fatalf("unexpected scheme %q", r.Scheme)
+		}
+		if r.Sign != w[0] || r.Verify != w[1] {
+			t.Fatalf("%s ops = (%s, %s), want (%s, %s)", r.Scheme, r.Sign, r.Verify, w[0], w[1])
+		}
+		if r.SignTime <= 0 || r.VerifyTime <= 0 {
+			t.Fatalf("%s has non-positive timings", r.Scheme)
+		}
+		switch r.Scheme {
+		case "McCLS":
+			mcclsVerify = r.VerifyTime
+		case "AP":
+			apVerify = r.VerifyTime
+		}
+	}
+	// The paper's claim: McCLS verification beats the 4-pairing AP.
+	if mcclsVerify >= apVerify {
+		t.Fatalf("McCLS verify (%v) not faster than AP (%v)", mcclsVerify, apVerify)
+	}
+	out := RenderTable1(rows)
+	if !strings.Contains(out, "McCLS") || !strings.Contains(out, "1p+1s") {
+		t.Fatalf("table rendering broken:\n%s", out)
+	}
+}
+
+// TestInsiderGrayholeNotStoppedByMcCLS documents the protection boundary:
+// a gray hole holding a valid KGC key signs correct control packets, so
+// routing authentication cannot exclude it and some traffic is still lost.
+func TestInsiderGrayholeNotStoppedByMcCLS(t *testing.T) {
+	sc := quick()
+	sc.Security = McCLSCost
+	sc.Attack = Grayhole
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PacketDropRatio() == 0 {
+		t.Fatal("insider gray hole dropped nothing; topology too favourable, adjust seed")
+	}
+	// But it drops selectively, not everything it could.
+	if res.PacketDropRatio() > 0.6 {
+		t.Fatalf("gray hole dropped %.2f, not selective", res.PacketDropRatio())
+	}
+}
+
+// TestScenarioWithCollisionsAndHello exercises the optional radio collision
+// model and HELLO beaconing inside a full scenario: the network must stay
+// functional (a weaker bound than the disk model's) and remain
+// deterministic.
+func TestScenarioWithCollisionsAndHello(t *testing.T) {
+	sc := quick()
+	sc.Radio.Collisions = true
+	sc.AODV.HelloInterval = time.Second
+	r1, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.PacketDeliveryRatio() < 0.5 {
+		t.Fatalf("network collapsed under collision model: %s", r1.Summary)
+	}
+	r2, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Summary != r2.Summary {
+		t.Fatal("collision model broke determinism")
+	}
+}
+
+// TestDSRScenario checks the DSR runner end-to-end: healthy baseline,
+// attack degradation, and McCLS protection — the generality claim.
+func TestDSRScenario(t *testing.T) {
+	base := quick()
+	res, err := base.RunDSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PacketDeliveryRatio() < 0.85 {
+		t.Fatalf("DSR baseline PDR %.3f unhealthy", res.PacketDeliveryRatio())
+	}
+	for _, atk := range []AttackMode{Blackhole, Rushing} {
+		plain := quick()
+		plain.Attack = atk
+		pRes, err := plain.RunDSR()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pRes.PacketDropRatio() == 0 {
+			t.Fatalf("DSR %v absorbed nothing", atk)
+		}
+		sec := quick()
+		sec.Attack = atk
+		sec.Security = McCLSCost
+		sRes, err := sec.RunDSR()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sRes.PacketDropRatio() != 0 {
+			t.Fatalf("McCLS-DSR under %v: drop ratio %.3f, want 0", atk, sRes.PacketDropRatio())
+		}
+	}
+}
+
+// TestDSRDeterministic pins reproducibility for the DSR runner too.
+func TestDSRDeterministic(t *testing.T) {
+	sc := quick()
+	sc.Attack = Rushing
+	r1, err := sc.RunDSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sc.RunDSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Summary != r2.Summary {
+		t.Fatal("DSR run not deterministic")
+	}
+}
+
+// TestFigureDSRShape checks the extension figure mirrors Figure 5's shape
+// on the DSR substrate.
+func TestFigureDSRShape(t *testing.T) {
+	cfg := SweepConfig{
+		Base:    Scenario{Duration: 40 * time.Second},
+		Speeds:  []float64{5},
+		Repeats: 2,
+		Seed:    7,
+	}
+	fig, err := FigureDSR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]float64{}
+	for _, s := range fig.Series {
+		byLabel[s.Label] = s.Y[0]
+	}
+	if byLabel["DSR black hole"] == 0 || byLabel["DSR rushing"] == 0 {
+		t.Fatalf("plain DSR shows no attacker drops: %+v", byLabel)
+	}
+	if byLabel["McCLS-DSR black hole"] != 0 || byLabel["McCLS-DSR rushing"] != 0 {
+		t.Fatalf("McCLS-DSR drop ratio nonzero: %+v", byLabel)
+	}
+}

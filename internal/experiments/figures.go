@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mccls/internal/metrics"
+)
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Label string
+	X     []float64 // node speed in m/s
+	Y     []float64
+}
+
+// Figure is a regenerated paper figure: its identity plus the data series
+// as plotted.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// SweepConfig drives a speed sweep. Zero values select the paper's setup.
+type SweepConfig struct {
+	// Base is the common scenario; its MaxSpeed/Security/Attack/Seed are
+	// overridden per sweep point.
+	Base Scenario
+	// Speeds are the swept maximum node speeds in m/s (default
+	// 1, 5, 10, 15, 20 — the paper's x-axis).
+	Speeds []float64
+	// Repeats averages each point over this many seeds (default 3).
+	Repeats int
+	// Seed is the base RNG seed; repeat k of a point uses Seed + k.
+	Seed int64
+}
+
+func (cfg SweepConfig) withDefaults() SweepConfig {
+	if len(cfg.Speeds) == 0 {
+		cfg.Speeds = []float64{1, 5, 10, 15, 20}
+	}
+	if cfg.Repeats == 0 {
+		cfg.Repeats = 3
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return cfg
+}
+
+// runPoint executes one (speed, security, attack) sweep point averaged over
+// the configured repeats.
+func (cfg SweepConfig) runPoint(speed float64, sec SecurityMode, atk AttackMode) (metrics.Summary, error) {
+	runs := make([]metrics.Summary, 0, cfg.Repeats)
+	for k := 0; k < cfg.Repeats; k++ {
+		sc := cfg.Base
+		sc.MaxSpeed = speed
+		sc.Security = sec
+		sc.Attack = atk
+		sc.Seed = cfg.Seed + int64(k)*7919
+		res, err := sc.Run()
+		if err != nil {
+			return metrics.Summary{}, err
+		}
+		runs = append(runs, res.Summary)
+	}
+	return metrics.Average(runs), nil
+}
+
+// SweepResult holds one protocol variant's summaries across the speed axis.
+type SweepResult struct {
+	Speeds    []float64
+	Summaries []metrics.Summary
+}
+
+// Sweep runs the speed sweep for one (security, attack) combination.
+func (cfg SweepConfig) Sweep(sec SecurityMode, atk AttackMode) (SweepResult, error) {
+	cfg = cfg.withDefaults()
+	out := SweepResult{Speeds: cfg.Speeds}
+	for _, v := range cfg.Speeds {
+		s, err := cfg.runPoint(v, sec, atk)
+		if err != nil {
+			return SweepResult{}, err
+		}
+		out.Summaries = append(out.Summaries, s)
+	}
+	return out, nil
+}
+
+// series projects a sweep result through a metric extractor.
+func (r SweepResult) series(label string, f func(metrics.Summary) float64) Series {
+	s := Series{Label: label, X: r.Speeds}
+	for _, sum := range r.Summaries {
+		s.Y = append(s.Y, f(sum))
+	}
+	return s
+}
+
+// baselinePair runs the no-attack sweep for AODV and McCLS.
+func baselinePair(cfg SweepConfig) (aodv, mccls SweepResult, err error) {
+	if aodv, err = cfg.Sweep(Plain, NoAttack); err != nil {
+		return
+	}
+	mccls, err = cfg.Sweep(McCLSCost, NoAttack)
+	return
+}
+
+func pdr(s metrics.Summary) float64       { return s.PacketDeliveryRatio() }
+func rreqRatio(s metrics.Summary) float64 { return s.RREQRatio() }
+func delayMs(s metrics.Summary) float64 {
+	return float64(s.EndToEndDelay()) / float64(time.Millisecond)
+}
+func dropRatio(s metrics.Summary) float64 { return s.PacketDropRatio() }
+
+// Figure1 regenerates "Packet Delivery Ratio" (no attack): AODV vs McCLS
+// across node speed.
+func Figure1(cfg SweepConfig) (Figure, error) {
+	a, m, err := baselinePair(cfg)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID: "fig1", Title: "Packet Delivery Ratio",
+		XLabel: "speed (m/s)", YLabel: "packet delivery ratio",
+		Series: []Series{a.series("AODV", pdr), m.series("McCLS", pdr)},
+	}, nil
+}
+
+// Figure2 regenerates "RREQ Ratio" (no attack).
+func Figure2(cfg SweepConfig) (Figure, error) {
+	a, m, err := baselinePair(cfg)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID: "fig2", Title: "RREQ Ratio",
+		XLabel: "speed (m/s)", YLabel: "RREQ ratio",
+		Series: []Series{a.series("AODV", rreqRatio), m.series("McCLS", rreqRatio)},
+	}, nil
+}
+
+// Figure3 regenerates "End-to-End Delay" (no attack); McCLS pays its
+// signature/verification latency per control hop.
+func Figure3(cfg SweepConfig) (Figure, error) {
+	a, m, err := baselinePair(cfg)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID: "fig3", Title: "End-to-End Delay",
+		XLabel: "speed (m/s)", YLabel: "delay (ms)",
+		Series: []Series{a.series("AODV", delayMs), m.series("McCLS", delayMs)},
+	}, nil
+}
+
+// Figure4 regenerates "Packet Delivery Ratio under attack": the no-attack
+// baselines plus each protocol under 2-node black hole and rushing attacks.
+func Figure4(cfg SweepConfig) (Figure, error) {
+	a, m, err := baselinePair(cfg)
+	if err != nil {
+		return Figure{}, err
+	}
+	combos := []struct {
+		label string
+		sec   SecurityMode
+		atk   AttackMode
+	}{
+		{"AODV black hole", Plain, Blackhole},
+		{"AODV rushing", Plain, Rushing},
+		{"McCLS black hole", McCLSCost, Blackhole},
+		{"McCLS rushing", McCLSCost, Rushing},
+	}
+	series := []Series{a.series("AODV", pdr), m.series("McCLS", pdr)}
+	for _, c := range combos {
+		r, err := cfg.Sweep(c.sec, c.atk)
+		if err != nil {
+			return Figure{}, err
+		}
+		series = append(series, r.series(c.label, pdr))
+	}
+	return Figure{
+		ID: "fig4", Title: "Packet Delivery Ratio under attack",
+		XLabel: "speed (m/s)", YLabel: "packet delivery ratio",
+		Series: series,
+	}, nil
+}
+
+// Figure5 regenerates "Packet Drop Ratio": the fraction of sourced data
+// absorbed by the attackers for each protocol × attack combination.
+func Figure5(cfg SweepConfig) (Figure, error) {
+	combos := []struct {
+		label string
+		sec   SecurityMode
+		atk   AttackMode
+	}{
+		{"AODV black hole", Plain, Blackhole},
+		{"AODV rushing", Plain, Rushing},
+		{"McCLS black hole", McCLSCost, Blackhole},
+		{"McCLS rushing", McCLSCost, Rushing},
+	}
+	var series []Series
+	for _, c := range combos {
+		r, err := cfg.Sweep(c.sec, c.atk)
+		if err != nil {
+			return Figure{}, err
+		}
+		series = append(series, r.series(c.label, dropRatio))
+	}
+	return Figure{
+		ID: "fig5", Title: "Packet Drop Ratio",
+		XLabel: "speed (m/s)", YLabel: "packet drop ratio",
+		Series: series,
+	}, nil
+}
+
+// Render formats a figure as an aligned text table, one row per speed.
+func (f Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (%s vs %s)\n", f.ID, f.Title, f.YLabel, f.XLabel)
+	fmt.Fprintf(&b, "%-8s", "speed")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "  %22s", s.Label)
+	}
+	b.WriteByte('\n')
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	for i, x := range f.Series[0].X {
+		fmt.Fprintf(&b, "%-8.0f", x)
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, "  %22.3f", s.Y[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated values with a header row.
+func (f Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("speed")
+	for _, s := range f.Series {
+		b.WriteString(",")
+		b.WriteString(s.Label)
+	}
+	b.WriteByte('\n')
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	for i, x := range f.Series[0].X {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, ",%.4f", s.Y[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package ibs
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"mccls/internal/bn254"
+)
+
+func testSetup(t *testing.T) (*PKG, *PrivateKey) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	pkg, err := Setup(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg, pkg.Extract("alice")
+}
+
+func TestSignVerify(t *testing.T) {
+	pkg, sk := testSetup(t)
+	rng := rand.New(rand.NewSource(2))
+	msg := []byte("identity-based hello")
+	sig, err := Sign(sk, msg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(pkg.Params(), "alice", msg, sig); err != nil {
+		t.Fatalf("valid signature rejected: %v", err)
+	}
+	if err := Verify(pkg.Params(), "alice", []byte("tampered"), sig); !errors.Is(err, ErrVerifyFailed) {
+		t.Fatal("tampered message accepted")
+	}
+	if err := Verify(pkg.Params(), "bob", msg, sig); err == nil {
+		t.Fatal("wrong identity accepted")
+	}
+	bad := &Signature{U: sig.U, V: new(bn254.G2).Add(sig.V, bn254.G2Generator())}
+	if err := Verify(pkg.Params(), "alice", msg, bad); err == nil {
+		t.Fatal("tampered V accepted")
+	}
+	if err := Verify(pkg.Params(), "alice", msg, nil); err == nil {
+		t.Fatal("nil signature accepted")
+	}
+}
+
+func TestKeyEscrow(t *testing.T) {
+	// The IBS property McCLS removes: the PKG can sign as any user.
+	pkg, _ := testSetup(t)
+	rng := rand.New(rand.NewSource(3))
+	impersonated := pkg.Extract("victim") // PKG holds the full key
+	msg := []byte("I never signed this")
+	sig, err := Sign(impersonated, msg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(pkg.Params(), "victim", msg, sig); err != nil {
+		t.Fatal("escrow impersonation should verify — that is the flaw")
+	}
+}
+
+func TestBatchVerify(t *testing.T) {
+	pkg, sk := testSetup(t)
+	rng := rand.New(rand.NewSource(4))
+	const n = 6
+	msgs := make([][]byte, n)
+	sigs := make([]*Signature, n)
+	for i := range msgs {
+		msgs[i] = []byte{byte(i), 0x55}
+		var err error
+		if sigs[i], err = Sign(sk, msgs[i], rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := BatchVerify(pkg.Params(), "alice", msgs, sigs); err != nil {
+		t.Fatalf("valid batch rejected: %v", err)
+	}
+	// Tamper one message.
+	bad := append([][]byte{}, msgs...)
+	bad[3] = []byte("junk")
+	if err := BatchVerify(pkg.Params(), "alice", bad, sigs); !errors.Is(err, ErrVerifyFailed) {
+		t.Fatal("tampered batch accepted")
+	}
+	if err := BatchVerify(pkg.Params(), "alice", msgs[:2], sigs); !errors.Is(err, ErrBatchMismatch) {
+		t.Fatal("length mismatch not detected")
+	}
+	if err := BatchVerify(pkg.Params(), "alice", nil, nil); err != nil {
+		t.Fatal("empty batch should verify")
+	}
+}
+
+// TestBatchPairingCount pins the headline batch property: two pairings for
+// the whole batch.
+func TestBatchPairingCount(t *testing.T) {
+	pkg, sk := testSetup(t)
+	rng := rand.New(rand.NewSource(5))
+	const n = 5
+	msgs := make([][]byte, n)
+	sigs := make([]*Signature, n)
+	for i := range msgs {
+		msgs[i] = []byte{byte(i)}
+		var err error
+		if sigs[i], err = Sign(sk, msgs[i], rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := bn254.ReadOpCounts()
+	if err := BatchVerify(pkg.Params(), "alice", msgs, sigs); err != nil {
+		t.Fatal(err)
+	}
+	delta := bn254.ReadOpCounts().Sub(before)
+	if delta.Pairings != 2 {
+		t.Fatalf("batch of %d used %d pairings, want 2", n, delta.Pairings)
+	}
+}

@@ -1,0 +1,122 @@
+// Package metrics computes the paper's four evaluation metrics from
+// per-node AODV statistics:
+//
+//   - Packet Delivery Ratio: packets received by destinations / packets
+//     sent by sources.
+//   - RREQ Ratio: RREQs initiated + forwarded + retried, over data packets
+//     sent as source + data packets forwarded.
+//   - End-to-End Delay: mean source→destination latency of delivered
+//     packets.
+//   - Packet Drop Ratio: packets discarded by attack nodes / packets sent
+//     by all sources.
+package metrics
+
+import (
+	"fmt"
+	"time"
+
+	"mccls/internal/aodv"
+)
+
+// Summary aggregates a scenario run.
+type Summary struct {
+	DataSent      uint64
+	DataDelivered uint64
+	DataForwarded uint64
+
+	RREQInitiated uint64
+	RREQForwarded uint64
+	RREQRetried   uint64
+
+	AttackerDrops uint64
+	AuthRejected  uint64
+	LinkBreaks    uint64
+	NoRouteDrops  uint64
+
+	DelaySum   time.Duration
+	DelayCount uint64
+}
+
+// Collect sums the statistics of all nodes.
+func Collect(nodes []*aodv.Node) Summary {
+	var s Summary
+	for _, n := range nodes {
+		st := n.Stats
+		s.DataSent += st.DataSent
+		s.DataDelivered += st.DataDelivered
+		s.DataForwarded += st.DataForwarded
+		s.RREQInitiated += st.RREQInitiated
+		s.RREQForwarded += st.RREQForwarded
+		s.RREQRetried += st.RREQRetried
+		s.AttackerDrops += st.DropByAttacker
+		s.AuthRejected += st.AuthRejected
+		s.LinkBreaks += st.DropLinkBreak
+		s.NoRouteDrops += st.DropNoRoute
+		s.DelaySum += st.DelaySum
+		s.DelayCount += st.DelayCount
+	}
+	return s
+}
+
+// PacketDeliveryRatio is delivered/sent in [0, 1]; 0 when nothing was sent.
+func (s Summary) PacketDeliveryRatio() float64 {
+	if s.DataSent == 0 {
+		return 0
+	}
+	return float64(s.DataDelivered) / float64(s.DataSent)
+}
+
+// RREQRatio is total RREQ activity over total data transmissions, the
+// paper's control-overhead metric.
+func (s Summary) RREQRatio() float64 {
+	denom := s.DataSent + s.DataForwarded
+	if denom == 0 {
+		return 0
+	}
+	return float64(s.RREQInitiated+s.RREQForwarded+s.RREQRetried) / float64(denom)
+}
+
+// EndToEndDelay is the mean delivery latency; 0 when nothing was delivered.
+func (s Summary) EndToEndDelay() time.Duration {
+	if s.DelayCount == 0 {
+		return 0
+	}
+	return s.DelaySum / time.Duration(s.DelayCount)
+}
+
+// PacketDropRatio is the fraction of all sourced packets absorbed by
+// attackers.
+func (s Summary) PacketDropRatio() float64 {
+	if s.DataSent == 0 {
+		return 0
+	}
+	return float64(s.AttackerDrops) / float64(s.DataSent)
+}
+
+// String renders the four headline metrics.
+func (s Summary) String() string {
+	return fmt.Sprintf("PDR=%.3f RREQratio=%.3f delay=%v dropRatio=%.3f (sent=%d delivered=%d attackerDrops=%d)",
+		s.PacketDeliveryRatio(), s.RREQRatio(), s.EndToEndDelay(), s.PacketDropRatio(),
+		s.DataSent, s.DataDelivered, s.AttackerDrops)
+}
+
+// Average combines summaries from repeated seeds into their mean. Ratios
+// are averaged via the summed counters, weighting runs by traffic volume.
+func Average(runs []Summary) Summary {
+	var out Summary
+	for _, r := range runs {
+		out.DataSent += r.DataSent
+		out.DataDelivered += r.DataDelivered
+		out.DataForwarded += r.DataForwarded
+		out.RREQInitiated += r.RREQInitiated
+		out.RREQForwarded += r.RREQForwarded
+		out.RREQRetried += r.RREQRetried
+		out.AttackerDrops += r.AttackerDrops
+		out.AuthRejected += r.AuthRejected
+		out.LinkBreaks += r.LinkBreaks
+		out.NoRouteDrops += r.NoRouteDrops
+		out.DelaySum += r.DelaySum
+		out.DelayCount += r.DelayCount
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mccls/internal/aodv"
+)
+
+func TestCollectSumsNodes(t *testing.T) {
+	a := &aodv.Node{}
+	a.Stats.DataSent = 10
+	a.Stats.DataForwarded = 4
+	a.Stats.RREQInitiated = 2
+	b := &aodv.Node{}
+	b.Stats.DataDelivered = 7
+	b.Stats.RREQForwarded = 3
+	b.Stats.DropByAttacker = 1
+	b.Stats.DelaySum = 700 * time.Millisecond
+	b.Stats.DelayCount = 7
+
+	s := Collect([]*aodv.Node{a, b})
+	if s.DataSent != 10 || s.DataDelivered != 7 || s.DataForwarded != 4 {
+		t.Fatalf("bad sums: %+v", s)
+	}
+	if got := s.PacketDeliveryRatio(); got != 0.7 {
+		t.Fatalf("PDR = %v, want 0.7", got)
+	}
+	// RREQ ratio = (2 + 3 + 0) / (10 + 4)
+	if got := s.RREQRatio(); got < 0.357 || got > 0.358 {
+		t.Fatalf("RREQRatio = %v", got)
+	}
+	if got := s.EndToEndDelay(); got != 100*time.Millisecond {
+		t.Fatalf("delay = %v", got)
+	}
+	if got := s.PacketDropRatio(); got != 0.1 {
+		t.Fatalf("drop ratio = %v", got)
+	}
+}
+
+func TestZeroTrafficRatios(t *testing.T) {
+	var s Summary
+	if s.PacketDeliveryRatio() != 0 || s.RREQRatio() != 0 ||
+		s.EndToEndDelay() != 0 || s.PacketDropRatio() != 0 {
+		t.Fatal("zero traffic must yield zero ratios, not NaN")
+	}
+}
+
+func TestAverageWeightsByTraffic(t *testing.T) {
+	r1 := Summary{DataSent: 100, DataDelivered: 100}
+	r2 := Summary{DataSent: 300, DataDelivered: 0}
+	avg := Average([]Summary{r1, r2})
+	if got := avg.PacketDeliveryRatio(); got != 0.25 {
+		t.Fatalf("traffic-weighted PDR = %v, want 0.25", got)
+	}
+}
+
+func TestStringIncludesHeadlineMetrics(t *testing.T) {
+	s := Summary{DataSent: 10, DataDelivered: 5}
+	out := s.String()
+	for _, frag := range []string{"PDR=0.500", "sent=10", "delivered=5"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("summary string missing %q: %s", frag, out)
+		}
+	}
+}

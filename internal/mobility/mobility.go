@@ -1,0 +1,147 @@
+// Package mobility provides node-mobility models for the MANET simulator.
+// The paper's evaluation uses the random waypoint model in a rectangular
+// field with zero pause time and maximum speeds swept from 0 to 20 m/s;
+// RandomWaypoint implements exactly that. Positions are precomputed as
+// piecewise-linear legs, so lookups are pure functions of time and the
+// whole trajectory is deterministic given the seed.
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Point is a position in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between two points.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Model yields node positions over virtual time.
+type Model interface {
+	// Position returns the location of node at virtual time t.
+	Position(node int, t time.Duration) Point
+	// Nodes returns the number of nodes the model covers.
+	Nodes() int
+}
+
+// leg is one linear segment of a trajectory: the node moves from From at
+// time Start, reaching To at time End, then the next leg applies. A pause
+// is a leg with From == To.
+type leg struct {
+	start, end time.Duration
+	from, to   Point
+}
+
+// RandomWaypoint is the classic random waypoint model: each node repeatedly
+// picks a uniform destination in the field and a uniform speed in
+// [MinSpeed, MaxSpeed], travels there in a straight line, pauses for Pause,
+// and repeats.
+type RandomWaypoint struct {
+	legs [][]leg
+}
+
+// RandomWaypointConfig parameterizes the model.
+type RandomWaypointConfig struct {
+	// Width and Height are the field dimensions in meters.
+	Width, Height float64
+	// MinSpeed and MaxSpeed bound the per-leg speed in m/s. MaxSpeed == 0
+	// makes all nodes static at their initial positions.
+	MinSpeed, MaxSpeed float64
+	// Pause is the dwell time at each waypoint.
+	Pause time.Duration
+}
+
+// NewRandomWaypoint precomputes trajectories for n nodes up to the horizon.
+// Positions requested beyond the horizon hold the last waypoint.
+func NewRandomWaypoint(cfg RandomWaypointConfig, n int, horizon time.Duration, rng *rand.Rand) *RandomWaypoint {
+	m := &RandomWaypoint{legs: make([][]leg, n)}
+	for node := 0; node < n; node++ {
+		pos := Point{X: rng.Float64() * cfg.Width, Y: rng.Float64() * cfg.Height}
+		var ls []leg
+		now := time.Duration(0)
+		if cfg.MaxSpeed <= 0 {
+			ls = append(ls, leg{start: 0, end: horizon, from: pos, to: pos})
+		}
+		for now < horizon && cfg.MaxSpeed > 0 {
+			dst := Point{X: rng.Float64() * cfg.Width, Y: rng.Float64() * cfg.Height}
+			minSpeed := cfg.MinSpeed
+			if minSpeed <= 0 {
+				// Avoid the classic RWP speed-decay pathology of
+				// near-zero speeds.
+				minSpeed = math.Min(0.1, cfg.MaxSpeed)
+			}
+			speed := minSpeed + rng.Float64()*(cfg.MaxSpeed-minSpeed)
+			travel := time.Duration(pos.Dist(dst) / speed * float64(time.Second))
+			ls = append(ls, leg{start: now, end: now + travel, from: pos, to: dst})
+			now += travel
+			if cfg.Pause > 0 && now < horizon {
+				ls = append(ls, leg{start: now, end: now + cfg.Pause, from: dst, to: dst})
+				now += cfg.Pause
+			}
+			pos = dst
+		}
+		m.legs[node] = ls
+	}
+	return m
+}
+
+// Nodes returns the number of nodes the model covers.
+func (m *RandomWaypoint) Nodes() int { return len(m.legs) }
+
+// Position returns the location of node at time t by binary search over its
+// legs followed by linear interpolation.
+func (m *RandomWaypoint) Position(node int, t time.Duration) Point {
+	ls := m.legs[node]
+	if len(ls) == 0 {
+		return Point{}
+	}
+	if t <= ls[0].start {
+		return ls[0].from
+	}
+	last := ls[len(ls)-1]
+	if t >= last.end {
+		return last.to
+	}
+	lo, hi := 0, len(ls)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ls[mid].end < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	l := ls[lo]
+	if l.end == l.start {
+		return l.to
+	}
+	frac := float64(t-l.start) / float64(l.end-l.start)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return Point{
+		X: l.from.X + (l.to.X-l.from.X)*frac,
+		Y: l.from.Y + (l.to.Y-l.from.Y)*frac,
+	}
+}
+
+// Static places nodes at fixed positions; useful for unit tests and
+// hand-built topologies.
+type Static struct {
+	Points []Point
+}
+
+// Nodes returns the number of nodes the model covers.
+func (s *Static) Nodes() int { return len(s.Points) }
+
+// Position returns the fixed location of node.
+func (s *Static) Position(node int, _ time.Duration) Point { return s.Points[node] }

@@ -1,0 +1,100 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestStatic(t *testing.T) {
+	s := &Static{Points: []Point{{1, 2}, {3, 4}}}
+	if s.Nodes() != 2 {
+		t.Fatal("wrong node count")
+	}
+	if p := s.Position(1, time.Hour); p != (Point{3, 4}) {
+		t.Fatalf("static node moved: %v", p)
+	}
+}
+
+func TestRandomWaypointBounds(t *testing.T) {
+	cfg := RandomWaypointConfig{Width: 1500, Height: 300, MaxSpeed: 20}
+	m := NewRandomWaypoint(cfg, 20, 900*time.Second, rand.New(rand.NewSource(7)))
+	if m.Nodes() != 20 {
+		t.Fatal("wrong node count")
+	}
+	for node := 0; node < m.Nodes(); node++ {
+		for ts := time.Duration(0); ts <= 900*time.Second; ts += 9 * time.Second {
+			p := m.Position(node, ts)
+			if p.X < 0 || p.X > 1500 || p.Y < 0 || p.Y > 300 {
+				t.Fatalf("node %d left the field at %v: %v", node, ts, p)
+			}
+		}
+	}
+}
+
+func TestRandomWaypointSpeedRespected(t *testing.T) {
+	const maxSpeed = 10.0
+	cfg := RandomWaypointConfig{Width: 1000, Height: 1000, MaxSpeed: maxSpeed}
+	m := NewRandomWaypoint(cfg, 5, 300*time.Second, rand.New(rand.NewSource(3)))
+	const step = 100 * time.Millisecond
+	for node := 0; node < 5; node++ {
+		prev := m.Position(node, 0)
+		for ts := step; ts <= 300*time.Second; ts += step {
+			cur := m.Position(node, ts)
+			dist := cur.Dist(prev)
+			speed := dist / step.Seconds()
+			// Allow a whisker of slack for waypoint-corner interpolation.
+			if speed > maxSpeed*1.05 {
+				t.Fatalf("node %d moved at %.2f m/s (> %v)", node, speed, maxSpeed)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestRandomWaypointZeroSpeedStatic(t *testing.T) {
+	cfg := RandomWaypointConfig{Width: 500, Height: 500, MaxSpeed: 0}
+	m := NewRandomWaypoint(cfg, 3, time.Minute, rand.New(rand.NewSource(1)))
+	for node := 0; node < 3; node++ {
+		p0 := m.Position(node, 0)
+		p1 := m.Position(node, 30*time.Second)
+		if p0 != p1 {
+			t.Fatalf("node %d moved despite MaxSpeed=0", node)
+		}
+	}
+}
+
+func TestRandomWaypointMoves(t *testing.T) {
+	cfg := RandomWaypointConfig{Width: 1000, Height: 1000, MaxSpeed: 20}
+	m := NewRandomWaypoint(cfg, 3, 5*time.Minute, rand.New(rand.NewSource(9)))
+	for node := 0; node < 3; node++ {
+		if m.Position(node, 0) == m.Position(node, time.Minute) {
+			t.Fatalf("node %d never moved", node)
+		}
+	}
+}
+
+func TestRandomWaypointDeterministic(t *testing.T) {
+	cfg := RandomWaypointConfig{Width: 1000, Height: 300, MaxSpeed: 15, Pause: time.Second}
+	a := NewRandomWaypoint(cfg, 4, time.Minute, rand.New(rand.NewSource(5)))
+	b := NewRandomWaypoint(cfg, 4, time.Minute, rand.New(rand.NewSource(5)))
+	for node := 0; node < 4; node++ {
+		for ts := time.Duration(0); ts < time.Minute; ts += 777 * time.Millisecond {
+			if a.Position(node, ts) != b.Position(node, ts) {
+				t.Fatal("same seed produced different trajectories")
+			}
+		}
+	}
+}
+
+func TestRandomWaypointBeyondHorizonHolds(t *testing.T) {
+	cfg := RandomWaypointConfig{Width: 100, Height: 100, MaxSpeed: 5}
+	m := NewRandomWaypoint(cfg, 1, 10*time.Second, rand.New(rand.NewSource(2)))
+	// The final leg may extend past the horizon; once it completes the node
+	// holds its last waypoint forever.
+	p1 := m.Position(0, 10*time.Hour)
+	p2 := m.Position(0, 20*time.Hour)
+	if p1 != p2 {
+		t.Fatal("position changed beyond horizon")
+	}
+}

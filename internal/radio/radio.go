@@ -1,0 +1,228 @@
+// Package radio models the wireless medium for the MANET simulator: a
+// disk-propagation link model with serialization and propagation delay,
+// uniform channel-access (MAC) jitter, optional i.i.d. packet loss, and an
+// optional receiver-side collision model. It stands in for QualNet's
+// 802.11-style PHY/MAC at the fidelity the paper's routing experiments
+// need (see DESIGN.md §1).
+package radio
+
+import (
+	"math"
+	"time"
+
+	"mccls/internal/mobility"
+	"mccls/internal/sim"
+)
+
+// Broadcast is the destination id for one-hop broadcast frames.
+const Broadcast = -1
+
+// Handler receives a delivered frame payload at a node.
+type Handler func(from int, payload any)
+
+// Config parameterizes the medium. Zero values select defaults.
+type Config struct {
+	// Range is the transmission radius in meters (default 250, the
+	// canonical 802.11 outdoor figure used in the AODV literature).
+	Range float64
+	// BitRate is the air data rate in bits/s (default 2 Mb/s).
+	BitRate float64
+	// MACDelayMax is the maximum uniform channel-access delay per
+	// transmission (default 2ms); it models contention backoff.
+	MACDelayMax time.Duration
+	// LossRate is an i.i.d. per-delivery loss probability in [0, 1).
+	LossRate float64
+	// Collisions enables the receiver-side overlap model: two frames
+	// arriving at the same node with overlapping air time corrupt each
+	// other.
+	Collisions bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Range == 0 {
+		c.Range = 250
+	}
+	if c.BitRate == 0 {
+		c.BitRate = 2e6
+	}
+	if c.MACDelayMax == 0 {
+		c.MACDelayMax = 2 * time.Millisecond
+	}
+	return c
+}
+
+// Stats aggregates medium-level counters.
+type Stats struct {
+	UnicastSent    uint64
+	UnicastFailed  uint64 // link-layer failures detected at send time
+	BroadcastSent  uint64
+	Deliveries     uint64
+	Lost           uint64 // random losses
+	Collided       uint64 // losses due to reception overlap
+	BytesOnAir     uint64
+	ControlPackets uint64 // caller-maintained via CountControl
+}
+
+// reception tracks one in-flight frame at a receiver for the collision
+// model.
+type reception struct {
+	start, end sim.Time
+	corrupted  bool
+}
+
+// Medium connects nodes over a shared wireless channel.
+type Medium struct {
+	sim  *sim.Simulator
+	mob  mobility.Model
+	cfg  Config
+	hand []Handler
+	recv [][]*reception
+
+	// Stats is exported for scenario-level reporting.
+	Stats Stats
+}
+
+// New builds a medium over the given mobility model.
+func New(s *sim.Simulator, mob mobility.Model, cfg Config) *Medium {
+	return &Medium{
+		sim:  s,
+		mob:  mob,
+		cfg:  cfg.withDefaults(),
+		hand: make([]Handler, mob.Nodes()),
+		recv: make([][]*reception, mob.Nodes()),
+	}
+}
+
+// Nodes returns the number of attached nodes.
+func (m *Medium) Nodes() int { return m.mob.Nodes() }
+
+// SetHandler installs the receive callback for a node.
+func (m *Medium) SetHandler(node int, h Handler) { m.hand[node] = h }
+
+// Position returns a node's current location.
+func (m *Medium) Position(node int) mobility.Point {
+	return m.mob.Position(node, m.sim.Now())
+}
+
+// InRange reports whether two nodes can currently hear each other.
+func (m *Medium) InRange(a, b int) bool {
+	if a == b {
+		return false
+	}
+	return m.Position(a).Dist(m.Position(b)) <= m.cfg.Range
+}
+
+// Neighbors returns the nodes currently within range of node.
+func (m *Medium) Neighbors(node int) []int {
+	var out []int
+	for other := 0; other < m.Nodes(); other++ {
+		if other != node && m.InRange(node, other) {
+			out = append(out, other)
+		}
+	}
+	return out
+}
+
+// serialization returns the air time of a frame of the given size.
+func (m *Medium) serialization(bytes int) time.Duration {
+	return time.Duration(float64(bytes*8) / m.cfg.BitRate * float64(time.Second))
+}
+
+// propagation returns the speed-of-light delay over dist meters.
+func propagation(dist float64) time.Duration {
+	return time.Duration(dist / 3e8 * float64(time.Second))
+}
+
+// macDelay draws the uniform channel-access delay.
+func (m *Medium) macDelay() time.Duration {
+	if m.cfg.MACDelayMax <= 0 {
+		return 0
+	}
+	return time.Duration(m.sim.Rand().Int63n(int64(m.cfg.MACDelayMax)))
+}
+
+// deliver schedules the arrival of a frame at one receiver, applying loss
+// and (optionally) collision corruption.
+func (m *Medium) deliver(from, to int, bytes int, payload any, txStart sim.Time) {
+	dist := m.mob.Position(from, txStart).Dist(m.mob.Position(to, txStart))
+	arrive := txStart + m.serialization(bytes) + propagation(dist)
+
+	if m.cfg.LossRate > 0 && m.sim.Rand().Float64() < m.cfg.LossRate {
+		m.Stats.Lost++
+		return
+	}
+
+	var rec *reception
+	if m.cfg.Collisions {
+		rec = &reception{start: txStart, end: arrive}
+		m.trackReception(to, rec)
+	}
+	m.sim.ScheduleAt(arrive, func() {
+		if rec != nil && rec.corrupted {
+			m.Stats.Collided++
+			return
+		}
+		if h := m.hand[to]; h != nil {
+			m.Stats.Deliveries++
+			h(from, payload)
+		}
+	})
+}
+
+// trackReception records a reception interval and corrupts any overlapping
+// ones (including the new one), pruning completed intervals as it goes.
+func (m *Medium) trackReception(node int, rec *reception) {
+	live := m.recv[node][:0]
+	for _, other := range m.recv[node] {
+		if other.end <= rec.start {
+			continue // finished before we started; prune
+		}
+		if other.start < rec.end && rec.start < other.end {
+			other.corrupted = true
+			rec.corrupted = true
+		}
+		live = append(live, other)
+	}
+	m.recv[node] = append(live, rec)
+}
+
+// Broadcast transmits a frame to every node currently in range. Neighbor
+// membership is evaluated at the (jittered) transmission start, matching a
+// real channel where movement during backoff changes the audience.
+func (m *Medium) Broadcast(from int, bytes int, payload any) {
+	m.Stats.BroadcastSent++
+	m.Stats.BytesOnAir += uint64(bytes)
+	delay := m.macDelay()
+	m.sim.Schedule(delay, func() {
+		txStart := m.sim.Now()
+		for _, to := range m.Neighbors(from) {
+			m.deliver(from, to, bytes, payload, txStart)
+		}
+	})
+}
+
+// Unicast transmits a frame to one neighbor. It returns false — modelling
+// the missing link-layer ACK AODV uses for link-break detection — when the
+// destination is out of range at send time; the frame is then not
+// transmitted. Losses after a successful send (random loss, collisions) are
+// not reported to the sender, as with a real half-duplex MAC whose ACK
+// timeout is longer than the simulation's decision point.
+func (m *Medium) Unicast(from, to int, bytes int, payload any) bool {
+	m.Stats.UnicastSent++
+	if !m.InRange(from, to) {
+		m.Stats.UnicastFailed++
+		return false
+	}
+	m.Stats.BytesOnAir += uint64(bytes)
+	delay := m.macDelay()
+	m.sim.Schedule(delay, func() {
+		m.deliver(from, to, bytes, payload, m.sim.Now())
+	})
+	return true
+}
+
+// Dist returns the current distance between two nodes, primarily for
+// scenario debugging.
+func (m *Medium) Dist(a, b int) float64 {
+	return math.Abs(m.Position(a).Dist(m.Position(b)))
+}

@@ -1,0 +1,230 @@
+package schemes
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"mccls/internal/bn254"
+)
+
+func testRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// TestAllSchemesRoundTrip exercises the complete lifecycle of every scheme:
+// setup, enrolment, sign, verify, and rejection of tampering.
+func TestAllSchemesRoundTrip(t *testing.T) {
+	for _, sch := range All() {
+		sch := sch
+		t.Run(sch.Profile().Name, func(t *testing.T) {
+			rng := testRng(1)
+			sys, err := sch.Setup(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			user, err := sys.NewUser("node-7", rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			msg := []byte("AODV RREP dst=node-3 seq=42")
+			sig, err := user.Sign(msg, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Verify("node-7", user.PublicKey(), msg, sig); err != nil {
+				t.Fatalf("valid signature rejected: %v", err)
+			}
+			// Wrong message.
+			if err := sys.Verify("node-7", user.PublicKey(), []byte("tampered"), sig); err == nil {
+				t.Fatal("tampered message accepted")
+			}
+			// Wrong identity.
+			if err := sys.Verify("node-8", user.PublicKey(), msg, sig); err == nil {
+				t.Fatal("wrong identity accepted")
+			}
+			// Bit-flipped signature: every byte position class.
+			for _, pos := range []int{0, len(sig) / 2, len(sig) - 1} {
+				bad := bytes.Clone(sig)
+				bad[pos] ^= 0x01
+				if err := sys.Verify("node-7", user.PublicKey(), msg, bad); err == nil {
+					t.Fatalf("bit flip at %d accepted", pos)
+				}
+			}
+			// Truncated signature must be a malformed error, not a panic.
+			if err := sys.Verify("node-7", user.PublicKey(), msg, sig[:len(sig)-3]); !errors.Is(err, ErrMalformed) {
+				t.Fatalf("truncated signature: got %v", err)
+			}
+			// Truncated public key.
+			if err := sys.Verify("node-7", user.PublicKey()[:8], msg, sig); !errors.Is(err, ErrMalformed) {
+				t.Fatalf("truncated public key: got %v", err)
+			}
+		})
+	}
+}
+
+// TestCrossSchemeUsers checks that two users within a scheme cannot verify
+// against each other's keys.
+func TestCrossSchemeUsers(t *testing.T) {
+	for _, sch := range All() {
+		sch := sch
+		t.Run(sch.Profile().Name, func(t *testing.T) {
+			rng := testRng(2)
+			sys, err := sch.Setup(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := sys.NewUser("alice", rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := sys.NewUser("bob", rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			msg := []byte("m")
+			sig, err := a.Sign(msg, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Verify("bob", b.PublicKey(), msg, sig); err == nil {
+				t.Fatal("alice's signature verified as bob's")
+			}
+			// Key substitution: alice's ID with bob's public key.
+			if err := sys.Verify("alice", b.PublicKey(), msg, sig); err == nil {
+				t.Fatal("signature verified under substituted public key")
+			}
+		})
+	}
+}
+
+// TestProfilesMatchTable1 pins the operation counts to the paper's Table 1.
+func TestProfilesMatchTable1(t *testing.T) {
+	want := map[string]Profile{
+		"AP":    {Name: "AP", SignPairings: 1, SignScalarMults: 3, VerifyPairings: 4, VerifyExps: 1, PublicKeyPoints: 2},
+		"ZWXF":  {Name: "ZWXF", SignScalarMults: 4, VerifyPairings: 4, VerifyScalarMults: 3, PublicKeyPoints: 1},
+		"YHG":   {Name: "YHG", SignScalarMults: 2, VerifyPairings: 2, VerifyScalarMults: 3, PublicKeyPoints: 1},
+		"McCLS": {Name: "McCLS", SignScalarMults: 2, VerifyPairings: 1, VerifyScalarMults: 1, PublicKeyPoints: 1},
+	}
+	for _, sch := range All() {
+		p := sch.Profile()
+		w, ok := want[p.Name]
+		if !ok {
+			t.Fatalf("unexpected scheme %q", p.Name)
+		}
+		if p != w {
+			t.Fatalf("%s profile = %+v, want %+v", p.Name, p, w)
+		}
+	}
+	// McCLS must have strictly the fewest verification pairings.
+	for _, sch := range All() {
+		p := sch.Profile()
+		if p.Name != "McCLS" && p.VerifyPairings <= want["McCLS"].VerifyPairings {
+			t.Fatalf("%s has %d verify pairings, not more than McCLS", p.Name, p.VerifyPairings)
+		}
+	}
+}
+
+// TestPublicKeySizes checks the marshalled key length matches the declared
+// point count (64 bytes per G1 point).
+func TestPublicKeySizes(t *testing.T) {
+	for _, sch := range All() {
+		rng := testRng(3)
+		sys, err := sch.Setup(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		user, err := sys.NewUser("n", rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := sch.Profile().PublicKeyPoints * 64
+		if got := len(user.PublicKey()); got != want {
+			t.Fatalf("%s public key %d bytes, want %d", sch.Profile().Name, got, want)
+		}
+	}
+}
+
+// TestDistinctSignaturesVerify makes sure repeated signing with fresh
+// randomness yields distinct, individually valid signatures.
+func TestDistinctSignaturesVerify(t *testing.T) {
+	for _, sch := range All() {
+		rng := testRng(4)
+		sys, err := sch.Setup(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		user, err := sys.NewUser("n", rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := []byte("same message")
+		s1, err := user.Sign(msg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := user.Sign(msg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(s1, s2) {
+			t.Fatalf("%s produced identical signatures for fresh randomness", sch.Profile().Name)
+		}
+		for _, s := range [][]byte{s1, s2} {
+			if err := sys.Verify("n", user.PublicKey(), msg, s); err != nil {
+				t.Fatalf("%s: %v", sch.Profile().Name, err)
+			}
+		}
+	}
+}
+
+// TestPairingCountsMatchTable1 verifies dynamically — via the bn254
+// operation counters — that each implementation performs exactly the
+// number of pairings (Miller loops) its Table 1 row claims, in both the
+// signing and the steady-state (warm-cache) verification path.
+func TestPairingCountsMatchTable1(t *testing.T) {
+	for _, sch := range All() {
+		sch := sch
+		t.Run(sch.Profile().Name, func(t *testing.T) {
+			rng := testRng(7)
+			sys, err := sch.Setup(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			user, err := sys.NewUser("count", rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			msg := []byte("count me")
+			// Warm caches (McCLS/YHG precompute e(P_pub, Q_ID) on first
+			// verification).
+			warm, err := user.Sign(msg, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Verify(user.ID(), user.PublicKey(), msg, warm); err != nil {
+				t.Fatal(err)
+			}
+
+			before := bn254.ReadOpCounts()
+			sig, err := user.Sign(msg, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			afterSign := bn254.ReadOpCounts()
+			if err := sys.Verify(user.ID(), user.PublicKey(), msg, sig); err != nil {
+				t.Fatal(err)
+			}
+			afterVerify := bn254.ReadOpCounts()
+
+			signOps := afterSign.Sub(before)
+			verifyOps := afterVerify.Sub(afterSign)
+			p := sch.Profile()
+			if got := int(signOps.Pairings); got != p.SignPairings {
+				t.Fatalf("sign performed %d pairings, Table 1 says %d", got, p.SignPairings)
+			}
+			if got := int(verifyOps.Pairings); got != p.VerifyPairings {
+				t.Fatalf("verify performed %d pairings, Table 1 says %d", got, p.VerifyPairings)
+			}
+		})
+	}
+}

@@ -1,0 +1,175 @@
+package secrouting
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"mccls/internal/aodv"
+)
+
+func newRealAuth(t *testing.T) *McCLSAuth {
+	t.Helper()
+	a, err := NewMcCLSAuth(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestMcCLSAuthRoundTrip(t *testing.T) {
+	a := newRealAuth(t)
+	if err := a.Enroll(3); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("RREQ id=9 origin=3")
+	tag, d := a.Sign(3, payload)
+	if d != DefaultSignLatency {
+		t.Fatalf("sign delay = %v", d)
+	}
+	if len(tag) != a.Overhead() {
+		t.Fatalf("tag length %d != overhead %d", len(tag), a.Overhead())
+	}
+	ok, d := a.Verify(3, payload, tag)
+	if !ok {
+		t.Fatal("valid tag rejected")
+	}
+	if d != DefaultVerifyLatency {
+		t.Fatalf("verify delay = %v", d)
+	}
+}
+
+func TestMcCLSAuthRejectsTamperedPayload(t *testing.T) {
+	a := newRealAuth(t)
+	if err := a.Enroll(1); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("RREP dest=4 seq=7 hops=2")
+	tag, _ := a.Sign(1, payload)
+	tampered := bytes.Clone(payload)
+	tampered[5] ^= 0xFF // e.g. a rushed/modified hop count
+	if ok, _ := a.Verify(1, tampered, tag); ok {
+		t.Fatal("tampered payload accepted")
+	}
+}
+
+func TestMcCLSAuthRejectsUnenrolled(t *testing.T) {
+	a := newRealAuth(t)
+	if err := a.Enroll(1); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("forged RREP")
+	// The attacker (node 9, never enrolled) emits a well-sized tag that
+	// cannot verify.
+	tag, d := a.Sign(9, payload)
+	if d != 0 {
+		t.Fatal("attacker charged crypto time for garbage tag")
+	}
+	if len(tag) != a.Overhead() {
+		t.Fatal("attacker tag has wrong size")
+	}
+	if ok, _ := a.Verify(9, payload, tag); ok {
+		t.Fatal("unenrolled node's tag accepted")
+	}
+	if a.Enrolled(9) || !a.Enrolled(1) {
+		t.Fatal("enrollment bookkeeping wrong")
+	}
+}
+
+func TestMcCLSAuthRejectsCrossNodeTag(t *testing.T) {
+	a := newRealAuth(t)
+	for _, n := range []int{1, 2} {
+		if err := a.Enroll(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	payload := []byte("hello")
+	tag, _ := a.Sign(1, payload)
+	// A valid tag from node 1 must not verify as node 2 (identity is bound
+	// through H1 and H2).
+	if ok, _ := a.Verify(2, payload, tag); ok {
+		t.Fatal("node 1's tag verified as node 2")
+	}
+}
+
+func TestMcCLSAuthMalformedTag(t *testing.T) {
+	a := newRealAuth(t)
+	if err := a.Enroll(1); err != nil {
+		t.Fatal(err)
+	}
+	for _, tag := range [][]byte{nil, {1, 2, 3}, make([]byte, a.Overhead())} {
+		if ok, _ := a.Verify(1, []byte("m"), tag); ok {
+			t.Fatalf("malformed tag of len %d accepted", len(tag))
+		}
+	}
+}
+
+func TestCostModelAuthMirrorsRealBehaviour(t *testing.T) {
+	real := newRealAuth(t)
+	model := NewCostModelAuth()
+	for _, n := range []int{0, 1} {
+		if err := real.Enroll(n); err != nil {
+			t.Fatal(err)
+		}
+		model.Enroll(n)
+	}
+	payloads := [][]byte{[]byte("a"), []byte("RREQ 1"), make([]byte, 100)}
+	for _, p := range payloads {
+		// enrolled nodes, intact payload → both accept
+		for _, n := range []int{0, 1} {
+			rt, _ := real.Sign(n, p)
+			mt, _ := model.Sign(n, p)
+			rok, _ := real.Verify(n, p, rt)
+			mok, _ := model.Verify(n, p, mt)
+			if !rok || !mok {
+				t.Fatal("authenticators disagree on valid input")
+			}
+			// tampered payload → both reject
+			bad := append(bytes.Clone(p), 0xFF)
+			rok, _ = real.Verify(n, bad, rt)
+			mok, _ = model.Verify(n, bad, mt)
+			if rok || mok {
+				t.Fatal("authenticators disagree on tampered input")
+			}
+		}
+		// attacker (node 9) → both reject
+		rt, _ := real.Sign(9, p)
+		mt, _ := model.Sign(9, p)
+		rok, _ := real.Verify(9, p, rt)
+		mok, _ := model.Verify(9, p, mt)
+		if rok || mok {
+			t.Fatal("authenticators disagree on attacker input")
+		}
+	}
+}
+
+func TestCostModelLatencies(t *testing.T) {
+	a := NewCostModelAuth()
+	a.Enroll(0)
+	if _, d := a.Sign(0, []byte("x")); d != DefaultSignLatency {
+		t.Fatalf("sign latency %v", d)
+	}
+	tag, _ := a.Sign(0, []byte("x"))
+	if _, d := a.Verify(0, []byte("x"), tag); d != DefaultVerifyLatency {
+		t.Fatalf("verify latency %v", d)
+	}
+	// Attackers pay nothing to emit garbage.
+	if _, d := a.Sign(5, []byte("x")); d != 0 {
+		t.Fatal("attacker charged sign latency")
+	}
+	if a.Overhead() <= 0 {
+		t.Fatal("overhead must be positive")
+	}
+}
+
+func TestNodeIdentityStable(t *testing.T) {
+	if NodeIdentity(7) != "node-7" || NodeIdentity(0) != "node-0" {
+		t.Fatal("identity mapping changed; breaks key binding")
+	}
+}
+
+// Interface compliance for both authenticators.
+var (
+	_ aodv.Authenticator = (*McCLSAuth)(nil)
+	_ aodv.Authenticator = (*CostModelAuth)(nil)
+)

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	s.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	s.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	s.Run(time.Second)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("clock = %v, want 1s", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	s.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	var fired []Time
+	s.Schedule(10*time.Millisecond, func() {
+		fired = append(fired, s.Now())
+		s.Schedule(5*time.Millisecond, func() {
+			fired = append(fired, s.Now())
+		})
+	})
+	s.Run(time.Second)
+	if len(fired) != 2 || fired[0] != 10*time.Millisecond || fired[1] != 15*time.Millisecond {
+		t.Fatalf("nested scheduling broken: %v", fired)
+	}
+}
+
+func TestRunStopsAtHorizon(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.Schedule(2*time.Second, func() { ran = true })
+	s.Run(time.Second)
+	if ran {
+		t.Fatal("event beyond horizon executed")
+	}
+	if s.Pending() != 1 {
+		t.Fatal("pending event lost")
+	}
+	s.Run(3 * time.Second)
+	if !ran {
+		t.Fatal("event within extended horizon not executed")
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	s := New(1)
+	s.Schedule(10*time.Millisecond, func() {
+		s.Schedule(-5*time.Millisecond, func() {
+			if s.Now() != 10*time.Millisecond {
+				t.Fatalf("negative delay ran at %v", s.Now())
+			}
+		})
+	})
+	s.RunAll()
+	if s.Processed() != 2 {
+		t.Fatalf("processed %d events, want 2", s.Processed())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		s := New(42)
+		var vals []int64
+		for i := 0; i < 5; i++ {
+			d := time.Duration(s.Rand().Intn(100)) * time.Millisecond
+			s.Schedule(d, func() { vals = append(vals, int64(s.Now())) })
+		}
+		s.RunAll()
+		return vals
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic event count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different schedules")
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Package manet is the public API of the MANET evaluation substrate: a
+// deterministic discrete-event simulator (random-waypoint mobility, disk
+// wireless medium, full AODV) with the McCLS routing-authentication
+// extension and the paper's black hole and rushing attackers.
+//
+// Run one scenario:
+//
+//	res, err := manet.Scenario{
+//		MaxSpeed: 10,
+//		Security: manet.McCLS,
+//		Attack:   manet.Blackhole,
+//	}.Run()
+//	fmt.Println(res.Summary)
+//
+// Or regenerate a whole paper figure:
+//
+//	fig, err := manet.Figure5(manet.SweepConfig{})
+//	fmt.Print(fig.Render())
+package manet
+
+import (
+	"io"
+
+	"mccls/internal/experiments"
+	"mccls/internal/metrics"
+)
+
+// Core types, aliased from the implementation.
+type (
+	// Scenario is one simulation configuration; zero values select the
+	// paper's §6 setup (20 nodes, 1500×300 m, 10 CBR flows, 2 attackers).
+	Scenario = experiments.Scenario
+	// Result is a run's metrics plus radio-level counters.
+	Result = experiments.Result
+	// Summary holds the aggregated protocol counters and computes the
+	// paper's four metrics.
+	Summary = metrics.Summary
+	// SweepConfig drives a node-speed sweep for the figures.
+	SweepConfig = experiments.SweepConfig
+	// Figure is a regenerated paper figure (labelled data series).
+	Figure = experiments.Figure
+	// Series is one labelled curve.
+	Series = experiments.Series
+	// SecurityMode selects plain AODV or McCLS-AODV.
+	SecurityMode = experiments.SecurityMode
+	// AttackMode selects the adversary.
+	AttackMode = experiments.AttackMode
+	// Table1Row is one scheme's Table 1 entry with measured timings.
+	Table1Row = experiments.Table1Row
+)
+
+// Security modes.
+const (
+	// AODV is plain, unauthenticated AODV.
+	AODV = experiments.Plain
+	// McCLS is McCLS-AODV with the calibrated crypto cost model (fast;
+	// identical routing behaviour to real crypto).
+	McCLS = experiments.McCLSCost
+	// McCLSReal is McCLS-AODV running real pairing cryptography on every
+	// control packet.
+	McCLSReal = experiments.McCLSReal
+)
+
+// Attack modes.
+const (
+	NoAttack  = experiments.NoAttack
+	Blackhole = experiments.Blackhole
+	Rushing   = experiments.Rushing
+	// Grayhole is the insider selective-forwarding extension: attackers
+	// hold valid keys, so signatures alone do not exclude them.
+	Grayhole = experiments.Grayhole
+)
+
+// Figure regenerators, one per paper figure, plus the DSR generality
+// extension (Scenario.RunDSR runs a single DSR scenario).
+var (
+	Figure1   = experiments.Figure1   // Packet Delivery Ratio vs speed
+	Figure2   = experiments.Figure2   // RREQ Ratio vs speed
+	Figure3   = experiments.Figure3   // End-to-End Delay vs speed
+	Figure4   = experiments.Figure4   // Packet Delivery Ratio under attack
+	Figure5   = experiments.Figure5   // Packet Drop Ratio under attack
+	FigureDSR = experiments.FigureDSR // extension: drop ratio on the DSR substrate
+)
+
+// Table1 regenerates the paper's scheme-comparison table with measured
+// sign/verify timings (iters iterations per scheme; rng may be nil for
+// crypto/rand).
+func Table1(iters int, rng io.Reader) ([]Table1Row, error) {
+	return experiments.Table1(iters, rng)
+}
+
+// RenderTable1 formats Table 1 rows as an aligned text table.
+func RenderTable1(rows []Table1Row) string { return experiments.RenderTable1(rows) }

@@ -1,0 +1,60 @@
+package manet_test
+
+import (
+	"testing"
+	"time"
+
+	"mccls/manet"
+)
+
+// TestModeStrings pins the labels the CLI and figure legends rely on.
+func TestModeStrings(t *testing.T) {
+	if manet.AODV.String() != "AODV" || manet.McCLS.String() != "McCLS" {
+		t.Fatal("security mode labels changed")
+	}
+	if manet.Blackhole.String() != "black hole" || manet.Rushing.String() != "rushing" {
+		t.Fatal("attack mode labels changed")
+	}
+}
+
+// TestScenarioZeroValueDefaults checks that the zero-value scenario is the
+// paper's setup and runs.
+func TestScenarioZeroValueDefaults(t *testing.T) {
+	res, err := manet.Scenario{Duration: 20 * time.Second, Seed: 3, MaxSpeed: 5}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DataSent == 0 {
+		t.Fatal("default scenario generated no traffic")
+	}
+}
+
+// TestFigureGeneratorsWired makes sure every figure function is exported
+// and produces its expected series count on a minimal sweep.
+func TestFigureGeneratorsWired(t *testing.T) {
+	cfg := manet.SweepConfig{
+		Base:    manet.Scenario{Duration: 15 * time.Second},
+		Speeds:  []float64{5},
+		Repeats: 1,
+		Seed:    2,
+	}
+	cases := []struct {
+		gen  func(manet.SweepConfig) (manet.Figure, error)
+		want int
+	}{
+		{manet.Figure1, 2},
+		{manet.Figure2, 2},
+		{manet.Figure3, 2},
+		{manet.Figure4, 6},
+		{manet.Figure5, 4},
+	}
+	for i, tc := range cases {
+		fig, err := tc.gen(cfg)
+		if err != nil {
+			t.Fatalf("figure %d: %v", i+1, err)
+		}
+		if len(fig.Series) != tc.want {
+			t.Fatalf("figure %d has %d series, want %d", i+1, len(fig.Series), tc.want)
+		}
+	}
+}
