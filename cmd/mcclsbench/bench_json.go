@@ -1,0 +1,82 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"mccls/internal/bn254"
+)
+
+// benchEntry is one measured primitive in the BENCH_bn254.json dump.
+type benchEntry struct {
+	Name    string  `json:"name"`
+	Iters   int     `json:"iters"`
+	NsPerOp int64   `json:"ns_per_op"`
+	MsPerOp float64 `json:"ms_per_op"`
+}
+
+// benchReport is the schema of BENCH_bn254.json: enough context to compare
+// runs across machines plus the per-primitive timings.
+type benchReport struct {
+	GoVersion string       `json:"go_version"`
+	GOARCH    string       `json:"goarch"`
+	Curve     string       `json:"curve"`
+	Timestamp string       `json:"timestamp"`
+	Results   []benchEntry `json:"results"`
+}
+
+// timeOp measures fn over iters iterations and returns one entry.
+func timeOp(name string, iters int, fn func()) benchEntry {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	elapsed := time.Since(start)
+	ns := elapsed.Nanoseconds() / int64(iters)
+	return benchEntry{
+		Name:    name,
+		Iters:   iters,
+		NsPerOp: ns,
+		MsPerOp: float64(ns) / float64(time.Millisecond),
+	}
+}
+
+// writeBenchJSON times the BN254 substrate primitives that dominate McCLS
+// sign/verify cost and writes them to path as JSON.
+func writeBenchJSON(path string, iters int) error {
+	r := rand.New(rand.NewSource(1))
+	k1 := new(big.Int).Rand(r, bn254.Order)
+	k2 := new(big.Int).Rand(r, bn254.Order)
+	p := new(bn254.G1).ScalarBaseMult(k1)
+	q := new(bn254.G2).ScalarBaseMult(k2)
+	msg := []byte("mcclsbench probe message")
+
+	rep := benchReport{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Curve:     "BN254 (Montgomery fixed-width Fp)",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Results: []benchEntry{
+			timeOp("pairing", iters, func() { bn254.Pair(p, q) }),
+			timeOp("g1_scalar_mult", iters, func() { new(bn254.G1).ScalarMult(p, k2) }),
+			timeOp("g2_scalar_mult", iters, func() { new(bn254.G2).ScalarMult(q, k1) }),
+			timeOp("hash_to_g1", iters, func() { bn254.HashToG1("bench", msg) }),
+			timeOp("hash_to_g2", iters, func() { bn254.HashToG2("bench", msg) }),
+			timeOp("gt_exp", iters, func() { new(bn254.GT).Exp(bn254.Pair(p, q), k1) }),
+		},
+	}
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mcclsbench: wrote %s\n", path)
+	return nil
+}

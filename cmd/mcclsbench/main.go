@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	mcclsbench [-iters N] [-csv]
+//	mcclsbench [-iters N] [-csv] [-json [FILE]]
+//
+// With -json, the BN254 substrate primitives (pairing, scalar
+// multiplications, hashes-to-curve, GT exponentiation) are additionally
+// timed and dumped to FILE (default BENCH_bn254.json) for machine-readable
+// before/after comparisons.
 package main
 
 import (
@@ -27,7 +32,27 @@ func main() {
 func run() error {
 	iters := flag.Int("iters", 10, "sign/verify iterations per scheme")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	jsonPath := flag.String("json", "", "also dump BN254 primitive timings to this file (BENCH_bn254.json if empty string is given with -json=)")
+	jsonSet := false
 	flag.Parse()
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "json" {
+			jsonSet = true
+		}
+	})
+
+	if *iters < 1 {
+		return fmt.Errorf("-iters must be at least 1, got %d", *iters)
+	}
+	if jsonSet {
+		path := *jsonPath
+		if path == "" {
+			path = "BENCH_bn254.json"
+		}
+		if err := writeBenchJSON(path, *iters); err != nil {
+			return err
+		}
+	}
 
 	rows, err := manet.Table1(*iters, nil)
 	if err != nil {

@@ -4,6 +4,8 @@ import (
 	"math/big"
 	"math/rand"
 	"testing"
+
+	"mccls/internal/bn254/fp"
 )
 
 // Micro-benchmarks for the pairing substrate, including the Miller-loop vs
@@ -17,8 +19,24 @@ func benchPoints(b *testing.B) (*G1, *G2) {
 	return p, q
 }
 
+// BenchmarkFpMul measures one Montgomery CIOS multiplication. The whole
+// point of the fixed-width refactor is that this is allocation-free: the
+// acceptance bar is 0 allocs/op.
+func BenchmarkFpMul(b *testing.B) {
+	var x, y, z fp.Element
+	x.SetUint64(0xdeadbeefcafe)
+	y.SetBigInt(new(big.Int).Rand(rand.New(rand.NewSource(5)), P))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Mul(&x, &y)
+		x.Add(&z, &y)
+	}
+}
+
 func BenchmarkPairing(b *testing.B) {
 	p, q := benchPoints(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Pair(p, q)

@@ -61,11 +61,8 @@ func TestCurveParameters(t *testing.T) {
 
 func TestFp2Arithmetic(t *testing.T) {
 	r := testRand()
-	randFp2 := func() *Fp2 {
-		return &Fp2{C0: new(big.Int).Rand(r, P), C1: new(big.Int).Rand(r, P)}
-	}
 	for i := 0; i < 50; i++ {
-		a, b, c := randFp2(), randFp2(), randFp2()
+		a, b, c := randFp2(r), randFp2(r), randFp2(r)
 		// Commutativity and associativity of multiplication.
 		ab := new(Fp2).Mul(a, b)
 		ba := new(Fp2).Mul(b, a)
@@ -90,7 +87,7 @@ func TestFp2Arithmetic(t *testing.T) {
 			}
 		}
 		// i^2 = -1.
-		i := &Fp2{C0: big.NewInt(0), C1: big.NewInt(1)}
+		i := fp2FromBig(big.NewInt(0), big.NewInt(1))
 		if got := new(Fp2).Square(i); !got.Equal(new(Fp2).Neg(Fp2One())) {
 			t.Fatal("i^2 != -1")
 		}
@@ -101,7 +98,7 @@ func TestFp2Sqrt(t *testing.T) {
 	r := testRand()
 	found := 0
 	for i := 0; i < 40; i++ {
-		a := &Fp2{C0: new(big.Int).Rand(r, P), C1: new(big.Int).Rand(r, P)}
+		a := randFp2(r)
 		sq := new(Fp2).Square(a)
 		root := new(Fp2).Sqrt(sq)
 		if root == nil {
@@ -125,7 +122,7 @@ func TestFp12FieldAxioms(t *testing.T) {
 	randFp12 := func() *Fp12 {
 		z := &Fp12{}
 		for k := 0; k < 6; k++ {
-			z.C[k] = &Fp2{C0: new(big.Int).Rand(r, P), C1: new(big.Int).Rand(r, P)}
+			z.C[k] = *randFp2(r)
 		}
 		return z
 	}
@@ -148,7 +145,7 @@ func TestFp12Frobenius(t *testing.T) {
 	r := testRand()
 	a := &Fp12{}
 	for k := 0; k < 6; k++ {
-		a.C[k] = &Fp2{C0: new(big.Int).Rand(r, P), C1: new(big.Int).Rand(r, P)}
+		a.C[k] = *randFp2(r)
 	}
 	// Frobenius must equal exponentiation by p.
 	frob := new(Fp12).Frobenius(a)
@@ -379,14 +376,14 @@ func TestG2RejectsWrongSubgroup(t *testing.T) {
 	var pt *G2
 	for ctr := uint32(0); ; ctr++ {
 		b0 := hashBlock("sub", []byte("x"), ctr)
-		x := &Fp2{C0: new(big.Int).Mod(new(big.Int).SetBytes(b0), P), C1: big.NewInt(1)}
+		x := fp2FromBig(new(big.Int).SetBytes(b0), big.NewInt(1))
 		rhs := new(Fp2).Mul(new(Fp2).Square(x), x)
 		rhs.Add(rhs, twistB)
 		y := new(Fp2).Sqrt(rhs)
 		if y == nil {
 			continue
 		}
-		pt = &G2{X: x, Y: y}
+		pt = &G2{X: *x, Y: *y}
 		if !pt.IsInSubgroup() {
 			break
 		}

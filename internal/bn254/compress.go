@@ -3,6 +3,8 @@ package bn254
 import (
 	"fmt"
 	"math/big"
+
+	"mccls/internal/bn254/fp"
 )
 
 // Compressed point encodings: a signature's R and S components dominate
@@ -21,21 +23,15 @@ const (
 	g2CompressedSize = 1 + 64
 )
 
-// fpIsNeg reports the canonical "sign" of an Fp element: whether it exceeds
-// (p-1)/2. Using a sign rather than parity keeps the flag stable under
-// negation: exactly one of y, -y is "negative".
-func fpIsNeg(a *big.Int) bool {
-	half := new(big.Int).Rsh(P, 1)
-	return a.Cmp(half) > 0
-}
-
 // fp2IsNeg orders Fp2 lexicographically by (C1, C0) signs: the C1 sign
-// decides unless C1 is zero, in which case the C0 sign does.
+// decides unless C1 is zero, in which case the C0 sign does. The Fp "sign"
+// is fp.Element.IsNeg: whether the value exceeds (p-1)/2, which is stable
+// under negation (exactly one of y, -y is "negative").
 func fp2IsNeg(a *Fp2) bool {
-	if a.C1.Sign() != 0 {
-		return fpIsNeg(a.C1)
+	if !a.C1.IsZero() {
+		return a.C1.IsNeg()
 	}
-	return fpIsNeg(a.C0)
+	return a.C0.IsNeg()
 }
 
 // MarshalCompressed encodes z in 33 bytes.
@@ -44,12 +40,13 @@ func (z *G1) MarshalCompressed() []byte {
 	if z.Inf {
 		return out
 	}
-	if fpIsNeg(z.Y) {
+	if z.Y.IsNeg() {
 		out[0] = prefixOddY
 	} else {
 		out[0] = prefixEvenY
 	}
-	z.X.FillBytes(out[1:])
+	xb := z.X.Bytes()
+	copy(out[1:], xb[:])
 	return out
 }
 
@@ -72,17 +69,20 @@ func (z *G1) UnmarshalCompressed(data []byte) error {
 	default:
 		return fmt.Errorf("%w: unknown prefix 0x%02x", ErrInvalidPoint, data[0])
 	}
-	x := new(big.Int).SetBytes(data[1:])
-	if x.Cmp(P) >= 0 {
+	xBig := new(big.Int).SetBytes(data[1:])
+	if xBig.Cmp(P) >= 0 {
 		return fmt.Errorf("%w: x out of range", ErrInvalidPoint)
 	}
-	rhs := fpAdd(fpMul(fpMul(x, x), x), curveB)
-	y := fpSqrt(rhs)
-	if y == nil {
+	var x, rhs, y fp.Element
+	x.SetBigInt(xBig)
+	rhs.Square(&x)
+	rhs.Mul(&rhs, &x)
+	rhs.Add(&rhs, &curveB)
+	if !y.Sqrt(&rhs) {
 		return fmt.Errorf("%w: x not on curve", ErrInvalidPoint)
 	}
-	if fpIsNeg(y) != (data[0] == prefixOddY) {
-		y = fpNeg(y)
+	if y.IsNeg() != (data[0] == prefixOddY) {
+		y.Neg(&y)
 	}
 	z.X, z.Y, z.Inf = x, y, false
 	return nil
@@ -94,13 +94,14 @@ func (z *G2) MarshalCompressed() []byte {
 	if z.Inf {
 		return out
 	}
-	if fp2IsNeg(z.Y) {
+	if fp2IsNeg(&z.Y) {
 		out[0] = prefixOddY
 	} else {
 		out[0] = prefixEvenY
 	}
-	z.X.C0.FillBytes(out[1:33])
-	z.X.C1.FillBytes(out[33:])
+	c0, c1 := z.X.C0.Bytes(), z.X.C1.Bytes()
+	copy(out[1:33], c0[:])
+	copy(out[33:], c1[:])
 	return out
 }
 
@@ -123,23 +124,23 @@ func (z *G2) UnmarshalCompressed(data []byte) error {
 	default:
 		return fmt.Errorf("%w: unknown prefix 0x%02x", ErrInvalidPoint, data[0])
 	}
-	x := &Fp2{
-		C0: new(big.Int).SetBytes(data[1:33]),
-		C1: new(big.Int).SetBytes(data[33:]),
-	}
-	if x.C0.Cmp(P) >= 0 || x.C1.Cmp(P) >= 0 {
+	c0 := new(big.Int).SetBytes(data[1:33])
+	c1 := new(big.Int).SetBytes(data[33:])
+	if c0.Cmp(P) >= 0 || c1.Cmp(P) >= 0 {
 		return fmt.Errorf("%w: x out of range", ErrInvalidPoint)
 	}
-	rhs := new(Fp2).Mul(new(Fp2).Square(x), x)
-	rhs.Add(rhs, twistB)
-	y := new(Fp2).Sqrt(rhs)
-	if y == nil {
+	x := fp2FromBig(c0, c1)
+	var rhs, y Fp2
+	rhs.Square(x)
+	rhs.Mul(&rhs, x)
+	rhs.Add(&rhs, twistB)
+	if y.Sqrt(&rhs) == nil {
 		return fmt.Errorf("%w: x not on twist curve", ErrInvalidPoint)
 	}
-	if fp2IsNeg(y) != (data[0] == prefixOddY) {
-		y.Neg(y)
+	if fp2IsNeg(&y) != (data[0] == prefixOddY) {
+		y.Neg(&y)
 	}
-	cand := &G2{X: x, Y: y}
+	cand := &G2{X: *x, Y: y}
 	if !cand.IsInSubgroup() {
 		return fmt.Errorf("%w: G2 point not in subgroup", ErrInvalidPoint)
 	}

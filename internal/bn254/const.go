@@ -4,13 +4,18 @@
 // GT ⊂ Fp12*, hashing to G1/G2/Zr, and the optimal-ate pairing
 // e: G1 × G2 → GT.
 //
-// The implementation favours auditability over raw speed: all field
-// arithmetic is affine and built on math/big, and every derived constant
-// (twist coefficient, Frobenius coefficients, final-exponentiation hard
-// part) is computed from the curve parameter u rather than transcribed.
+// Base-field arithmetic is fixed-width Montgomery form (internal/bn254/fp);
+// scalars and every derived constant (twist coefficient, Frobenius
+// coefficients, final-exponentiation hard part) remain math/big and are
+// computed from the curve parameter u rather than transcribed, keeping the
+// derivation auditable.
 package bn254
 
-import "math/big"
+import (
+	"math/big"
+
+	"mccls/internal/bn254/fp"
+)
 
 // mustBig parses a base-10 integer literal and panics on malformed input.
 // It is used only for package-level constants, where a parse failure is a
@@ -40,7 +45,7 @@ var (
 	ateLoopCount = new(big.Int).Add(new(big.Int).Mul(big.NewInt(6), u), big.NewInt(2))
 
 	// curveB is the G1 curve coefficient: E: y^2 = x^3 + 3.
-	curveB = big.NewInt(3)
+	curveB = fp.NewElement(3)
 
 	// g2Cofactor is #E'(Fp2)/r = 2p - r for BN curves. Hash-to-G2 output
 	// is multiplied by it to land in the order-r subgroup.
@@ -50,6 +55,9 @@ var (
 	// exponentiation (the easy part (p^6-1)(p^2+1) is applied via
 	// Frobenius maps and one inversion).
 	finalExpHard = computeFinalExpHard()
+
+	// xiVal is the sextic non-residue 9 + i used to build Fp12 over Fp2.
+	xiVal = Fp2{C0: fp.NewElement(9), C1: fp.NewElement(1)}
 
 	// xiToPMinus1Over6 is xi^((p-1)/6) with xi = 9 + i; the w-coefficient
 	// Frobenius constant of Fp12 = Fp2[w]/(w^6 - xi).
@@ -83,14 +91,12 @@ func computeFrobGamma(j int) *Fp2 {
 	return new(Fp2).Exp(xi(), exp)
 }
 
-// xi returns the sextic non-residue 9 + i used to build Fp12 over Fp2.
-func xi() *Fp2 {
-	return &Fp2{C0: big.NewInt(9), C1: big.NewInt(1)}
-}
+// xi returns the sextic non-residue 9 + i.
+func xi() *Fp2 { return &xiVal }
 
 // computeTwistB returns 3/xi, the coefficient of the sextic twist.
 func computeTwistB() *Fp2 {
 	inv := new(Fp2).Inverse(xi())
-	three := &Fp2{C0: big.NewInt(3), C1: big.NewInt(0)}
+	three := &Fp2{C0: fp.NewElement(3)}
 	return new(Fp2).Mul(three, inv)
 }

@@ -5,34 +5,29 @@ import (
 	"errors"
 	"io"
 	"math/big"
+
+	"mccls/internal/bn254/fp"
 )
 
-// Helpers for the base field Fp. Values are canonical *big.Int residues in
-// [0, p). Every helper returns a fresh big.Int so callers never alias.
+// Base-field arithmetic lives in the internal/bn254/fp sub-package as
+// fixed-width Montgomery elements; this file keeps only the scalar-field
+// helpers (scalars stay *big.Int — they are mod-r values that cross the
+// public API) and the nonzero-inverse guard.
+//
+// fp.Element.Inverse and Sqrt report failure explicitly instead of
+// returning nil the way big.Int's ModInverse/ModSqrt do. The call sites
+// split into two audited classes: decode/hash paths where a non-residue is
+// expected data (they check ok and reject/retry), and group-law slopes or
+// Jacobian Z inversions where zero denominators are excluded by an earlier
+// branch (they go through fpMustInverse so a violated invariant panics
+// loudly instead of dereferencing nil).
 
-func fpAdd(a, b *big.Int) *big.Int {
-	return new(big.Int).Mod(new(big.Int).Add(a, b), P)
-}
-
-func fpSub(a, b *big.Int) *big.Int {
-	return new(big.Int).Mod(new(big.Int).Sub(a, b), P)
-}
-
-func fpMul(a, b *big.Int) *big.Int {
-	return new(big.Int).Mod(new(big.Int).Mul(a, b), P)
-}
-
-func fpNeg(a *big.Int) *big.Int {
-	return new(big.Int).Mod(new(big.Int).Neg(a), P)
-}
-
-func fpInv(a *big.Int) *big.Int {
-	return new(big.Int).ModInverse(a, P)
-}
-
-// fpSqrt returns a square root of a modulo p, or nil if a is a non-residue.
-func fpSqrt(a *big.Int) *big.Int {
-	return new(big.Int).ModSqrt(a, P)
+// fpMustInverse sets z = x⁻¹ and panics on zero input. Use only where the
+// caller has already established x ≠ 0.
+func fpMustInverse(z, x *fp.Element) {
+	if !z.Inverse(x) {
+		panic("bn254: inverse of zero field element")
+	}
 }
 
 var errZeroScalar = errors.New("bn254: rejected zero scalar")

@@ -1,0 +1,392 @@
+// Package fp implements the BN254 base field Fp with fixed-width
+// arithmetic. An Element is four 64-bit limbs (little-endian) holding a
+// residue in Montgomery form: the limbs encode a·R mod q with R = 2^256,
+// so multiplication is a single CIOS (coarsely integrated operand
+// scanning) pass instead of a generic trial-division reduction, and no
+// operation allocates.
+//
+// Guarantees: Add, Sub, Neg, Double, Mul and Square run in constant time
+// (branch-free limb arithmetic with mask selects). Inverse and Exp run in
+// time dependent only on the (public, fixed) exponent, so Inverse is also
+// secret-independent; Sqrt shares that property. Conversions to and from
+// math/big are NOT constant time and belong at serialization boundaries
+// only.
+package fp
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// Element is an Fp residue in Montgomery form, little-endian limbs.
+// The zero value is the field's zero. Elements are always kept in the
+// canonical range [0, q).
+type Element [4]uint64
+
+// q is the BN254 base field modulus
+// 21888242871839275222246405745257275088696311157297823662689037894645226208583,
+// split into 64-bit limbs. The init self-check below re-derives every
+// constant from the decimal string and aborts on any mismatch, so the hex
+// literals are transcription-safe.
+const (
+	q0 = 0x3c208c16d87cfd47
+	q1 = 0x97816a916871ca8d
+	q2 = 0xb85045b68181585d
+	q3 = 0x30644e72e131a029
+)
+
+// qInvNeg = -q⁻¹ mod 2^64, the Montgomery reduction factor.
+const qInvNeg = 0x87d20782e4866389
+
+var (
+	// rSquare = R² mod q; multiplying by it converts into Montgomery form.
+	rSquare = Element{0xf32cfc5b538afa89, 0xb5e71911d44501fb, 0x47ab1eff0a417ff6, 0x06d89f71cab8351f}
+
+	// one = R mod q, the Montgomery image of 1.
+	one = Element{0xd35d438dc58f0d9d, 0x0a78eb28f5c70b3d, 0x666ea36f7879462c, 0x0e0a77c19a07df2f}
+
+	// qBig is the modulus as a big.Int for the conversion boundary.
+	qBig = mustDecimal("21888242871839275222246405745257275088696311157297823662689037894645226208583")
+
+	// qMinus2 is the Inverse exponent (Fermat), qPlus1Over4 the Sqrt
+	// exponent (q ≡ 3 mod 4). Both are public constants, so the
+	// square-and-multiply ladders leak nothing about their inputs' values.
+	qMinus2     = new(big.Int).Sub(qBig, big.NewInt(2))
+	qPlus1Over4 = new(big.Int).Rsh(new(big.Int).Add(qBig, big.NewInt(1)), 2)
+
+	// qHalf = (q-1)/2 in plain (non-Montgomery) limbs, for IsNeg.
+	qHalf = bigToLimbs(new(big.Int).Rsh(qBig, 1))
+)
+
+func mustDecimal(s string) *big.Int {
+	n, ok := new(big.Int).SetString(s, 10)
+	if !ok {
+		panic("fp: invalid decimal literal")
+	}
+	return n
+}
+
+// bigToLimbs splits a non-negative v < 2^256 into little-endian limbs.
+func bigToLimbs(v *big.Int) Element {
+	var buf [32]byte
+	v.FillBytes(buf[:])
+	var e Element
+	for i := 0; i < 4; i++ {
+		e[i] = uint64(buf[31-8*i]) | uint64(buf[30-8*i])<<8 |
+			uint64(buf[29-8*i])<<16 | uint64(buf[28-8*i])<<24 |
+			uint64(buf[27-8*i])<<32 | uint64(buf[26-8*i])<<40 |
+			uint64(buf[25-8*i])<<48 | uint64(buf[24-8*i])<<56
+	}
+	return e
+}
+
+// init cross-checks every hand-written constant against values derived
+// from the decimal modulus, turning a transcription error into a startup
+// panic instead of silently wrong field arithmetic.
+func init() {
+	if bigToLimbs(qBig) != (Element{q0, q1, q2, q3}) {
+		panic("fp: modulus limbs disagree with decimal constant")
+	}
+	r := new(big.Int).Lsh(big.NewInt(1), 256)
+	if bigToLimbs(new(big.Int).Mod(r, qBig)) != one {
+		panic("fp: R mod q constant is wrong")
+	}
+	r2 := new(big.Int).Mul(r, r)
+	if bigToLimbs(r2.Mod(r2, qBig)) != rSquare {
+		panic("fp: R² mod q constant is wrong")
+	}
+	// qInvNeg: q·(-q⁻¹) ≡ -1 mod 2^64.
+	qInv := new(big.Int).ModInverse(qBig, new(big.Int).Lsh(big.NewInt(1), 64))
+	want := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 64), qInv)
+	if want.Uint64() != qInvNeg {
+		panic("fp: Montgomery factor qInvNeg is wrong")
+	}
+}
+
+// NewElement returns v as a field element (in Montgomery form).
+func NewElement(v uint64) Element {
+	var e Element
+	e.SetUint64(v)
+	return e
+}
+
+// One returns the multiplicative identity.
+func One() Element { return one }
+
+// SetZero sets z = 0 and returns z.
+func (z *Element) SetZero() *Element {
+	*z = Element{}
+	return z
+}
+
+// SetOne sets z = 1 and returns z.
+func (z *Element) SetOne() *Element {
+	*z = one
+	return z
+}
+
+// Set copies x into z and returns z.
+func (z *Element) Set(x *Element) *Element {
+	*z = *x
+	return z
+}
+
+// SetUint64 sets z = v and returns z.
+func (z *Element) SetUint64(v uint64) *Element {
+	*z = Element{v}
+	return z.Mul(z, &rSquare)
+}
+
+// SetBigInt sets z = v mod q and returns z. Not constant time.
+func (z *Element) SetBigInt(v *big.Int) *Element {
+	m := new(big.Int).Mod(v, qBig)
+	*z = bigToLimbs(m)
+	return z.Mul(z, &rSquare)
+}
+
+// BigInt returns z as a canonical big.Int in [0, q). Not constant time.
+func (z *Element) BigInt() *big.Int {
+	t := *z
+	t.fromMont()
+	var buf [32]byte
+	for i := 0; i < 4; i++ {
+		limb := t[i]
+		for j := 0; j < 8; j++ {
+			buf[31-8*i-j] = byte(limb >> (8 * j))
+		}
+	}
+	return new(big.Int).SetBytes(buf[:])
+}
+
+// Bytes returns the 32-byte big-endian canonical encoding of z.
+func (z *Element) Bytes() [32]byte {
+	t := *z
+	t.fromMont()
+	var buf [32]byte
+	for i := 0; i < 4; i++ {
+		limb := t[i]
+		for j := 0; j < 8; j++ {
+			buf[31-8*i-j] = byte(limb >> (8 * j))
+		}
+	}
+	return buf
+}
+
+// IsZero reports whether z == 0.
+func (z *Element) IsZero() bool { return z[0]|z[1]|z[2]|z[3] == 0 }
+
+// IsOne reports whether z == 1.
+func (z *Element) IsOne() bool { return *z == one }
+
+// Equal reports whether z == x. Montgomery representatives are canonical,
+// so limb equality is field equality.
+func (z *Element) Equal(x *Element) bool { return *z == *x }
+
+// IsNeg reports the canonical "sign" of z: whether its plain value exceeds
+// (q-1)/2. Exactly one of a, -a is negative for a ≠ 0, which makes the
+// flag suitable for compressed-point y recovery.
+func (z *Element) IsNeg() bool {
+	t := *z
+	t.fromMont()
+	for i := 3; i >= 0; i-- {
+		if t[i] != qHalf[i] {
+			return t[i] > qHalf[i]
+		}
+	}
+	return false
+}
+
+// reduce conditionally subtracts q so z lands in [0, q), without
+// branching on the value.
+func (z *Element) reduce() {
+	var b uint64
+	t0, b := bits.Sub64(z[0], q0, 0)
+	t1, b := bits.Sub64(z[1], q1, b)
+	t2, b := bits.Sub64(z[2], q2, b)
+	t3, b := bits.Sub64(z[3], q3, b)
+	mask := b - 1 // all-ones iff the subtraction did not borrow (z ≥ q)
+	z[0] = (t0 & mask) | (z[0] &^ mask)
+	z[1] = (t1 & mask) | (z[1] &^ mask)
+	z[2] = (t2 & mask) | (z[2] &^ mask)
+	z[3] = (t3 & mask) | (z[3] &^ mask)
+}
+
+// Add sets z = x + y and returns z.
+func (z *Element) Add(x, y *Element) *Element {
+	var c uint64
+	z[0], c = bits.Add64(x[0], y[0], 0)
+	z[1], c = bits.Add64(x[1], y[1], c)
+	z[2], c = bits.Add64(x[2], y[2], c)
+	z[3], _ = bits.Add64(x[3], y[3], c) // x+y < 2q < 2^255: no carry out
+	z.reduce()
+	return z
+}
+
+// Double sets z = 2x and returns z.
+func (z *Element) Double(x *Element) *Element { return z.Add(x, x) }
+
+// Sub sets z = x - y and returns z.
+func (z *Element) Sub(x, y *Element) *Element {
+	var b uint64
+	z[0], b = bits.Sub64(x[0], y[0], 0)
+	z[1], b = bits.Sub64(x[1], y[1], b)
+	z[2], b = bits.Sub64(x[2], y[2], b)
+	z[3], b = bits.Sub64(x[3], y[3], b)
+	mask := uint64(0) - b // all-ones iff we borrowed: add q back
+	var c uint64
+	z[0], c = bits.Add64(z[0], q0&mask, 0)
+	z[1], c = bits.Add64(z[1], q1&mask, c)
+	z[2], c = bits.Add64(z[2], q2&mask, c)
+	z[3], _ = bits.Add64(z[3], q3&mask, c)
+	return z
+}
+
+// Neg sets z = -x and returns z.
+func (z *Element) Neg(x *Element) *Element {
+	nz := x[0] | x[1] | x[2] | x[3]
+	mask := uint64(0) - ((nz | (uint64(0) - nz)) >> 63) // all-ones iff x ≠ 0
+	var b uint64
+	t0, b := bits.Sub64(q0, x[0], 0)
+	t1, b := bits.Sub64(q1, x[1], b)
+	t2, b := bits.Sub64(q2, x[2], b)
+	t3, _ := bits.Sub64(q3, x[3], b)
+	z[0] = t0 & mask
+	z[1] = t1 & mask
+	z[2] = t2 & mask
+	z[3] = t3 & mask
+	return z
+}
+
+// madd0 returns the high word of a·b + c.
+func madd0(a, b, c uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, carry := bits.Add64(lo, c, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	return hi
+}
+
+// madd1 returns a·b + t as (hi, lo).
+func madd1(a, b, t uint64) (uint64, uint64) {
+	hi, lo := bits.Mul64(a, b)
+	lo, carry := bits.Add64(lo, t, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	return hi, lo
+}
+
+// madd2 returns a·b + c + d as (hi, lo).
+func madd2(a, b, c, d uint64) (uint64, uint64) {
+	hi, lo := bits.Mul64(a, b)
+	c, carry := bits.Add64(c, d, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	lo, carry = bits.Add64(lo, c, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	return hi, lo
+}
+
+// madd3 returns a·b + c + d + e·2^64 as (hi, lo).
+func madd3(a, b, c, d, e uint64) (uint64, uint64) {
+	hi, lo := bits.Mul64(a, b)
+	c, carry := bits.Add64(c, d, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	lo, carry = bits.Add64(lo, c, 0)
+	hi, _ = bits.Add64(hi, e, carry)
+	return hi, lo
+}
+
+// Mul sets z = x·y (Montgomery product) and returns z, using one CIOS
+// pass: each outer round multiplies by one limb of x and folds in one
+// Montgomery reduction step, so the intermediate never exceeds five limbs.
+// The no-carry optimisation applies because q's top limb is < 2^62.
+func (z *Element) Mul(x, y *Element) *Element {
+	var t [4]uint64
+	var c [3]uint64
+	{
+		v := x[0]
+		c[1], c[0] = bits.Mul64(v, y[0])
+		m := c[0] * qInvNeg
+		c[2] = madd0(m, q0, c[0])
+		c[1], c[0] = madd1(v, y[1], c[1])
+		c[2], t[0] = madd2(m, q1, c[2], c[0])
+		c[1], c[0] = madd1(v, y[2], c[1])
+		c[2], t[1] = madd2(m, q2, c[2], c[0])
+		c[1], c[0] = madd1(v, y[3], c[1])
+		t[3], t[2] = madd3(m, q3, c[0], c[2], c[1])
+	}
+	for i := 1; i < 4; i++ {
+		v := x[i]
+		c[1], c[0] = madd1(v, y[0], t[0])
+		m := c[0] * qInvNeg
+		c[2] = madd0(m, q0, c[0])
+		c[1], c[0] = madd2(v, y[1], c[1], t[1])
+		c[2], t[0] = madd2(m, q1, c[2], c[0])
+		c[1], c[0] = madd2(v, y[2], c[1], t[2])
+		c[2], t[1] = madd2(m, q2, c[2], c[0])
+		c[1], c[0] = madd2(v, y[3], c[1], t[3])
+		t[3], t[2] = madd3(m, q3, c[0], c[2], c[1])
+	}
+	*z = t
+	z.reduce()
+	return z
+}
+
+// Square sets z = x² and returns z.
+func (z *Element) Square(x *Element) *Element { return z.Mul(x, x) }
+
+// fromMont converts z out of Montgomery form in place (divides by R),
+// via four reduction rounds against a zero-extended operand.
+func (z *Element) fromMont() {
+	for i := 0; i < 4; i++ {
+		m := z[0] * qInvNeg
+		c := madd0(m, q0, z[0])
+		c, z[0] = madd2(m, q1, z[1], c)
+		c, z[1] = madd2(m, q2, z[2], c)
+		c, z[2] = madd2(m, q3, z[3], c)
+		z[3] = c
+	}
+	z.reduce()
+}
+
+// Exp sets z = x^e for a non-negative big.Int exponent and returns z.
+// The ladder's timing depends only on e, which is public at every call
+// site in this module.
+func (z *Element) Exp(x *Element, e *big.Int) *Element {
+	acc := one
+	base := *x
+	for i := e.BitLen() - 1; i >= 0; i-- {
+		acc.Square(&acc)
+		if e.Bit(i) == 1 {
+			acc.Mul(&acc, &base)
+		}
+	}
+	*z = acc
+	return z
+}
+
+// Inverse sets z = x⁻¹ and reports whether the inverse exists. Zero has
+// no inverse: z is set to zero and ok is false. Uses Fermat
+// (x^(q-2)), so the cost is a fixed ~380 multiplications regardless of x.
+func (z *Element) Inverse(x *Element) (ok bool) {
+	if x.IsZero() {
+		z.SetZero()
+		return false
+	}
+	z.Exp(x, qMinus2)
+	return true
+}
+
+// Sqrt sets z to a square root of x and reports whether one exists.
+// q ≡ 3 (mod 4), so the candidate is x^((q+1)/4); squaring it back
+// detects non-residues. On failure z is left untouched.
+func (z *Element) Sqrt(x *Element) (ok bool) {
+	var cand, check Element
+	cand.Exp(x, qPlus1Over4)
+	check.Square(&cand)
+	if !check.Equal(x) {
+		return false
+	}
+	*z = cand
+	return true
+}
+
+// String renders z as a canonical decimal residue (not constant time).
+func (z *Element) String() string { return z.BigInt().String() }

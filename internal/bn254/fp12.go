@@ -11,27 +11,25 @@ import (
 // Frobenius acts coefficient-wise as conjugation times xi^(k(p-1)/6), and
 // inversion reduces to the Galois norm down to Fp2.
 //
+// Coefficients are value-type Fp2 elements, so the zero value of Fp12 is
+// the field's zero and arithmetic stays on the stack.
+//
 // Methods follow the math/big convention: z.Op(x, y) stores the result in z
 // and returns z. Receivers may alias arguments.
 type Fp12 struct {
-	C [6]*Fp2
+	C [6]Fp2
 }
 
 // Fp12One returns the multiplicative identity.
 func Fp12One() *Fp12 {
 	z := &Fp12{}
-	z.C[0] = Fp2One()
-	for k := 1; k < 6; k++ {
-		z.C[k] = Fp2Zero()
-	}
+	z.C[0] = *Fp2One()
 	return z
 }
 
 // Set copies x into z and returns z.
 func (z *Fp12) Set(x *Fp12) *Fp12 {
-	for k := 0; k < 6; k++ {
-		z.C[k] = new(Fp2).Set(x.C[k])
-	}
+	*z = *x
 	return z
 }
 
@@ -51,7 +49,7 @@ func (z *Fp12) IsOne() bool {
 // Equal reports whether z and x represent the same field element.
 func (z *Fp12) Equal(x *Fp12) bool {
 	for k := 0; k < 6; k++ {
-		if !z.C[k].Equal(x.C[k]) {
+		if !z.C[k].Equal(&x.C[k]) {
 			return false
 		}
 	}
@@ -59,12 +57,12 @@ func (z *Fp12) Equal(x *Fp12) bool {
 }
 
 // Mul sets z = x·y by schoolbook convolution with reduction w^6 = xi.
+// Zero coefficients are skipped, so multiplying by sparse operands (the
+// Miller-loop line values have only three nonzero coefficients) costs
+// proportionally less.
 func (z *Fp12) Mul(x, y *Fp12) *Fp12 {
-	var acc [11]*Fp2
-	for k := range acc {
-		acc[k] = Fp2Zero()
-	}
-	t := new(Fp2)
+	var acc [11]Fp2
+	var t Fp2
 	for a := 0; a < 6; a++ {
 		if x.C[a].IsZero() {
 			continue
@@ -73,21 +71,20 @@ func (z *Fp12) Mul(x, y *Fp12) *Fp12 {
 			if y.C[b].IsZero() {
 				continue
 			}
-			t.Mul(x.C[a], y.C[b])
-			acc[a+b].Add(acc[a+b], t)
+			t.Mul(&x.C[a], &y.C[b])
+			acc[a+b].Add(&acc[a+b], &t)
 		}
 	}
-	res := &Fp12{}
-	x6 := xi()
+	var res Fp12
 	for k := 0; k < 6; k++ {
 		res.C[k] = acc[k]
 	}
 	for k := 6; k < 11; k++ {
 		// w^k = w^(k-6)·xi
-		t := new(Fp2).Mul(acc[k], x6)
-		res.C[k-6].Add(res.C[k-6], t)
+		t.Mul(&acc[k], xi())
+		res.C[k-6].Add(&res.C[k-6], &t)
 	}
-	return z.Set(res)
+	return z.Set(&res)
 }
 
 // Square sets z = x².
@@ -95,24 +92,24 @@ func (z *Fp12) Square(x *Fp12) *Fp12 { return z.Mul(x, x) }
 
 // MulFp2 sets z = k·x for a scalar k ∈ Fp2.
 func (z *Fp12) MulFp2(x *Fp12, k *Fp2) *Fp12 {
-	res := &Fp12{}
+	var res Fp12
 	for i := 0; i < 6; i++ {
-		res.C[i] = new(Fp2).Mul(x.C[i], k)
+		res.C[i].Mul(&x.C[i], k)
 	}
-	return z.Set(res)
+	return z.Set(&res)
 }
 
 // Frobenius sets z = x^p. On the w-power basis this is coefficient-wise
 // conjugation times gamma^k where gamma = xi^((p-1)/6).
 func (z *Fp12) Frobenius(x *Fp12) *Fp12 {
-	res := &Fp12{}
-	pow := Fp2One()
+	var res Fp12
+	pow := *Fp2One()
 	for k := 0; k < 6; k++ {
-		res.C[k] = new(Fp2).Conjugate(x.C[k])
-		res.C[k].Mul(res.C[k], pow)
-		pow = new(Fp2).Mul(pow, xiToPMinus1Over6)
+		res.C[k].Conjugate(&x.C[k])
+		res.C[k].Mul(&res.C[k], &pow)
+		pow.Mul(&pow, xiToPMinus1Over6)
 	}
-	return z.Set(res)
+	return z.Set(&res)
 }
 
 // FrobeniusN sets z = x^(p^n) by repeated application of Frobenius.
@@ -144,7 +141,7 @@ func (z *Fp12) Inverse(x *Fp12) *Fp12 {
 	if norm.C[0].IsZero() {
 		panic("bn254: inverse of zero Fp12 element")
 	}
-	nInv := new(Fp2).Inverse(norm.C[0])
+	nInv := new(Fp2).Inverse(&norm.C[0])
 	return z.MulFp2(t, nInv)
 }
 

@@ -3,91 +3,123 @@ package bn254
 import (
 	"fmt"
 	"math/big"
+
+	"mccls/internal/bn254/fp"
 )
 
 // Fp2 is the quadratic extension Fp[i]/(i^2 + 1). An element is
-// C0 + C1·i with C0, C1 canonical residues modulo p.
+// C0 + C1·i with fixed-width Montgomery coordinates (see internal/bn254/fp);
+// the zero value is the field's zero, and arithmetic allocates nothing
+// beyond the receiver.
 //
 // Methods follow the math/big convention: z.Op(x, y) stores x ∘ y into z and
 // returns z. Receivers may alias arguments.
 type Fp2 struct {
-	C0, C1 *big.Int
+	C0, C1 fp.Element
 }
 
 // Fp2Zero returns the additive identity.
-func Fp2Zero() *Fp2 { return &Fp2{C0: big.NewInt(0), C1: big.NewInt(0)} }
+func Fp2Zero() *Fp2 { return &Fp2{} }
 
 // Fp2One returns the multiplicative identity.
-func Fp2One() *Fp2 { return &Fp2{C0: big.NewInt(1), C1: big.NewInt(0)} }
+func Fp2One() *Fp2 { return &Fp2{C0: fp.One()} }
+
+// fp2FromBig builds an element from canonical big.Int coefficients,
+// reducing modulo p. It is a conversion-boundary helper, not constant time.
+func fp2FromBig(c0, c1 *big.Int) *Fp2 {
+	z := &Fp2{}
+	z.C0.SetBigInt(c0)
+	z.C1.SetBigInt(c1)
+	return z
+}
 
 // Set copies x into z and returns z.
 func (z *Fp2) Set(x *Fp2) *Fp2 {
-	z.C0 = new(big.Int).Set(x.C0)
-	z.C1 = new(big.Int).Set(x.C1)
+	*z = *x
 	return z
 }
 
 // IsZero reports whether z is the additive identity.
-func (z *Fp2) IsZero() bool { return z.C0.Sign() == 0 && z.C1.Sign() == 0 }
+func (z *Fp2) IsZero() bool { return z.C0.IsZero() && z.C1.IsZero() }
 
 // IsOne reports whether z is the multiplicative identity.
-func (z *Fp2) IsOne() bool { return z.C0.Cmp(big.NewInt(1)) == 0 && z.C1.Sign() == 0 }
+func (z *Fp2) IsOne() bool { return z.C0.IsOne() && z.C1.IsZero() }
 
 // Equal reports whether z and x represent the same field element.
-func (z *Fp2) Equal(x *Fp2) bool { return z.C0.Cmp(x.C0) == 0 && z.C1.Cmp(x.C1) == 0 }
+func (z *Fp2) Equal(x *Fp2) bool { return z.C0.Equal(&x.C0) && z.C1.Equal(&x.C1) }
 
 // Add sets z = x + y.
 func (z *Fp2) Add(x, y *Fp2) *Fp2 {
-	z.C0, z.C1 = fpAdd(x.C0, y.C0), fpAdd(x.C1, y.C1)
+	z.C0.Add(&x.C0, &y.C0)
+	z.C1.Add(&x.C1, &y.C1)
 	return z
 }
 
 // Sub sets z = x - y.
 func (z *Fp2) Sub(x, y *Fp2) *Fp2 {
-	z.C0, z.C1 = fpSub(x.C0, y.C0), fpSub(x.C1, y.C1)
+	z.C0.Sub(&x.C0, &y.C0)
+	z.C1.Sub(&x.C1, &y.C1)
 	return z
 }
 
 // Neg sets z = -x.
 func (z *Fp2) Neg(x *Fp2) *Fp2 {
-	z.C0, z.C1 = fpNeg(x.C0), fpNeg(x.C1)
+	z.C0.Neg(&x.C0)
+	z.C1.Neg(&x.C1)
 	return z
 }
 
 // Conjugate sets z = C0 - C1·i.
 func (z *Fp2) Conjugate(x *Fp2) *Fp2 {
-	z.C0, z.C1 = new(big.Int).Set(x.C0), fpNeg(x.C1)
+	z.C0.Set(&x.C0)
+	z.C1.Neg(&x.C1)
 	return z
 }
 
 // Mul sets z = x·y using (a+bi)(c+di) = (ac-bd) + (ad+bc)i.
 func (z *Fp2) Mul(x, y *Fp2) *Fp2 {
-	ac := fpMul(x.C0, y.C0)
-	bd := fpMul(x.C1, y.C1)
-	ad := fpMul(x.C0, y.C1)
-	bc := fpMul(x.C1, y.C0)
-	z.C0, z.C1 = fpSub(ac, bd), fpAdd(ad, bc)
+	var ac, bd, ad, bc fp.Element
+	ac.Mul(&x.C0, &y.C0)
+	bd.Mul(&x.C1, &y.C1)
+	ad.Mul(&x.C0, &y.C1)
+	bc.Mul(&x.C1, &y.C0)
+	z.C0.Sub(&ac, &bd)
+	z.C1.Add(&ad, &bc)
 	return z
 }
 
-// Square sets z = x².
-func (z *Fp2) Square(x *Fp2) *Fp2 { return z.Mul(x, x) }
+// Square sets z = x² using (a+bi)² = (a+b)(a-b) + 2ab·i (three
+// multiplications instead of four).
+func (z *Fp2) Square(x *Fp2) *Fp2 {
+	var sum, diff, ab fp.Element
+	sum.Add(&x.C0, &x.C1)
+	diff.Sub(&x.C0, &x.C1)
+	ab.Mul(&x.C0, &x.C1)
+	z.C0.Mul(&sum, &diff)
+	z.C1.Double(&ab)
+	return z
+}
 
 // MulScalar sets z = k·x for k ∈ Fp.
-func (z *Fp2) MulScalar(x *Fp2, k *big.Int) *Fp2 {
-	z.C0, z.C1 = fpMul(x.C0, k), fpMul(x.C1, k)
+func (z *Fp2) MulScalar(x *Fp2, k *fp.Element) *Fp2 {
+	z.C0.Mul(&x.C0, k)
+	z.C1.Mul(&x.C1, k)
 	return z
 }
 
 // Inverse sets z = x⁻¹ via (a+bi)⁻¹ = (a-bi)/(a²+b²). It panics on zero
 // input, which indicates a programming error in the caller.
 func (z *Fp2) Inverse(x *Fp2) *Fp2 {
-	norm := fpAdd(fpMul(x.C0, x.C0), fpMul(x.C1, x.C1))
-	if norm.Sign() == 0 {
+	var norm, inv, t fp.Element
+	norm.Mul(&x.C0, &x.C0)
+	t.Mul(&x.C1, &x.C1)
+	norm.Add(&norm, &t)
+	if !inv.Inverse(&norm) {
 		panic("bn254: inverse of zero Fp2 element")
 	}
-	inv := fpInv(norm)
-	z.C0, z.C1 = fpMul(x.C0, inv), fpNeg(fpMul(x.C1, inv))
+	z.C0.Mul(&x.C0, &inv)
+	t.Mul(&x.C1, &inv)
+	z.C1.Neg(&t)
 	return z
 }
 
@@ -95,11 +127,11 @@ func (z *Fp2) Inverse(x *Fp2) *Fp2 {
 // square-and-multiply.
 func (z *Fp2) Exp(x *Fp2, e *big.Int) *Fp2 {
 	acc := Fp2One()
-	base := new(Fp2).Set(x)
+	base := *x
 	for i := e.BitLen() - 1; i >= 0; i-- {
 		acc.Square(acc)
 		if e.Bit(i) == 1 {
-			acc.Mul(acc, base)
+			acc.Mul(acc, &base)
 		}
 	}
 	return z.Set(acc)
@@ -124,7 +156,7 @@ func (z *Fp2) Sqrt(x *Fp2) *Fp2 {
 	minusOne := new(Fp2).Neg(Fp2One())
 	if alpha.Equal(minusOne) {
 		// candidate = i·x0
-		i := &Fp2{C0: big.NewInt(0), C1: big.NewInt(1)}
+		i := &Fp2{C1: fp.One()}
 		cand = new(Fp2).Mul(i, x0)
 	} else {
 		// candidate = (1+alpha)^((p-1)/2) · x0
@@ -142,5 +174,5 @@ func (z *Fp2) Sqrt(x *Fp2) *Fp2 {
 
 // String renders z as "c0 + c1*i" in decimal.
 func (z *Fp2) String() string {
-	return fmt.Sprintf("%v + %v*i", z.C0, z.C1)
+	return fmt.Sprintf("%v + %v*i", z.C0.String(), z.C1.String())
 }

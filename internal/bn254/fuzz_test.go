@@ -2,7 +2,10 @@ package bn254
 
 import (
 	"bytes"
+	"math/big"
 	"testing"
+
+	"mccls/internal/bn254/fp"
 )
 
 // Fuzzers for the untrusted decode paths. Without -fuzz they run the seed
@@ -60,6 +63,128 @@ func FuzzG2Unmarshal(f *testing.F) {
 		}
 		if !bytes.Equal(p.Marshal(), data) {
 			t.Fatal("accepted non-canonical encoding")
+		}
+	})
+}
+
+// fuzzFpSeed packs two big.Ints into fixed 32-byte seeds. Values up to
+// 2^256-1 fit; FillBytes panics beyond that, which no seed reaches.
+func fuzzFpSeed(f *testing.F, a, b *big.Int) {
+	var ab, bb [32]byte
+	a.FillBytes(ab[:])
+	b.FillBytes(bb[:])
+	f.Add(ab[:], bb[:])
+}
+
+// FuzzFpVsBigInt differentially fuzzes the fixed-width Montgomery Fp
+// arithmetic against the math/big oracle retained in fpref_test.go. Inputs
+// are raw 32-byte strings; values ≥ p are first shown to be non-canonical
+// (so every decode boundary rejects them) and then reduced so the
+// arithmetic itself is still exercised on the reduced residues.
+func FuzzFpVsBigInt(f *testing.F) {
+	pm1 := new(big.Int).Sub(P, big.NewInt(1))
+	max256 := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 256), big.NewInt(1))
+	fuzzFpSeed(f, big.NewInt(0), big.NewInt(1))
+	fuzzFpSeed(f, pm1, pm1)
+	fuzzFpSeed(f, new(big.Int).Set(P), big.NewInt(2))
+	fuzzFpSeed(f, max256, pm1)
+	f.Fuzz(func(t *testing.T, aBytes, bBytes []byte) {
+		aBig := new(big.Int).SetBytes(aBytes)
+		bBig := new(big.Int).SetBytes(bBytes)
+		for _, v := range []*big.Int{aBig, bBig} {
+			if v.Cmp(P) >= 0 && v.BitLen() <= 256 {
+				// An out-of-range value must never round-trip: SetBigInt
+				// reduces, so its canonical encoding differs from the raw
+				// input and decoders comparing canonical bytes reject it.
+				var e fp.Element
+				e.SetBigInt(v)
+				var raw [32]byte
+				v.FillBytes(raw[:])
+				if e.Bytes() == raw {
+					t.Fatalf("value ≥ p round-tripped canonically: %v", v)
+				}
+			}
+		}
+		aBig.Mod(aBig, P)
+		bBig.Mod(bBig, P)
+		var a, b fp.Element
+		a.SetBigInt(aBig)
+		b.SetBigInt(bBig)
+		check := func(op string, got *fp.Element, want *big.Int) {
+			if got.BigInt().Cmp(want) != 0 {
+				t.Fatalf("%s mismatch: a=%v b=%v got=%v want=%v", op, aBig, bBig, got.BigInt(), want)
+			}
+		}
+		var z fp.Element
+		check("add", z.Add(&a, &b), fpAddRef(aBig, bBig))
+		check("sub", z.Sub(&a, &b), fpSubRef(aBig, bBig))
+		check("mul", z.Mul(&a, &b), fpMulRef(aBig, bBig))
+		check("square", z.Square(&a), fpMulRef(aBig, aBig))
+		check("neg", z.Neg(&a), fpNegRef(aBig))
+		check("double", z.Double(&b), fpAddRef(bBig, bBig))
+		wantInv := fpInvRef(aBig)
+		if ok := z.Inverse(&a); ok != (wantInv != nil) {
+			t.Fatalf("inverse ok mismatch for %v: got %v", aBig, ok)
+		} else if ok {
+			check("inv", &z, wantInv)
+		}
+		wantSqrt := fpSqrtRef(aBig)
+		if ok := z.Sqrt(&a); ok != (wantSqrt != nil) {
+			t.Fatalf("sqrt ok mismatch for %v: got %v", aBig, ok)
+		} else if ok {
+			// Both sides compute x^((p+1)/4), the same principal root.
+			check("sqrt", &z, wantSqrt)
+		}
+		// Canonical byte round trip.
+		var rt fp.Element
+		rt.SetBigInt(new(big.Int).SetBytes(func() []byte { x := a.Bytes(); return x[:] }()))
+		if !rt.Equal(&a) {
+			t.Fatalf("byte round trip mismatch for %v", aBig)
+		}
+	})
+}
+
+// FuzzFp2VsBigInt does the same for the quadratic extension, driving the
+// tower arithmetic (and thus everything the pairing is built from) against
+// the fp2Ref oracle.
+func FuzzFp2VsBigInt(f *testing.F) {
+	pm1 := new(big.Int).Sub(P, big.NewInt(1))
+	max256 := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 256), big.NewInt(1))
+	seed := func(c0a, c1a, c0b, c1b *big.Int) {
+		var w [4][32]byte
+		for i, v := range []*big.Int{c0a, c1a, c0b, c1b} {
+			v.FillBytes(w[i][:])
+		}
+		f.Add(w[0][:], w[1][:], w[2][:], w[3][:])
+	}
+	seed(big.NewInt(0), big.NewInt(0), big.NewInt(1), big.NewInt(0))
+	seed(pm1, pm1, big.NewInt(1), pm1)
+	seed(new(big.Int).Set(P), big.NewInt(9), big.NewInt(1), max256)
+	f.Fuzz(func(t *testing.T, c0a, c1a, c0b, c1b []byte) {
+		ar := newFp2Ref(new(big.Int).SetBytes(c0a), new(big.Int).SetBytes(c1a))
+		br := newFp2Ref(new(big.Int).SetBytes(c0b), new(big.Int).SetBytes(c1b))
+		a, b := ar.toFp2(), br.toFp2()
+		check := func(op string, got *Fp2, want *fp2Ref) {
+			if !want.equalFp2(got) {
+				t.Fatalf("%s mismatch: got (%s,%s) want (%v,%v)",
+					op, got.C0.BigInt(), got.C1.BigInt(), want.c0, want.c1)
+			}
+		}
+		check("add", new(Fp2).Add(a, b), new(fp2Ref).add(ar, br))
+		check("sub", new(Fp2).Sub(a, b), new(fp2Ref).sub(ar, br))
+		check("mul", new(Fp2).Mul(a, b), new(fp2Ref).mul(ar, br))
+		check("square", new(Fp2).Square(a), new(fp2Ref).mul(ar, ar))
+		wantInv := new(fp2Ref).inv(ar)
+		if a.IsZero() != (wantInv == nil) {
+			t.Fatalf("inverse zero detection mismatch")
+		}
+		if wantInv != nil {
+			check("inv", new(Fp2).Inverse(a), wantInv)
+			// a · a⁻¹ = 1 closes the loop entirely inside the new code.
+			prod := new(Fp2).Mul(a, new(Fp2).Inverse(a))
+			if !prod.IsOne() {
+				t.Fatal("a·a⁻¹ != 1")
+			}
 		}
 	})
 }

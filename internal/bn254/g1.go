@@ -6,30 +6,32 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+
+	"mccls/internal/bn254/fp"
 )
 
 // G1 is a point of the order-r group E(Fp): y² = x³ + 3, in affine
-// coordinates. The zero value is NOT valid; use G1Infinity, G1Generator or
-// one of the constructors. For BN curves #E(Fp) = r, so every curve point is
-// in the subgroup.
+// coordinates with Montgomery-form field elements. The zero value is NOT
+// valid; use G1Infinity, G1Generator or one of the constructors. For BN
+// curves #E(Fp) = r, so every curve point is in the subgroup.
 //
 // Methods follow the math/big convention: z.Op(x, y) stores the result in z
 // and returns z.
 type G1 struct {
-	X, Y *big.Int
+	X, Y fp.Element
 	// Inf marks the point at infinity; X and Y are ignored when set.
 	Inf bool
 }
 
 // G1Infinity returns the identity element.
-func G1Infinity() *G1 { return &G1{X: big.NewInt(0), Y: big.NewInt(0), Inf: true} }
+func G1Infinity() *G1 { return &G1{Inf: true} }
 
 // G1Generator returns the canonical generator (1, 2).
-func G1Generator() *G1 { return &G1{X: big.NewInt(1), Y: big.NewInt(2)} }
+func G1Generator() *G1 { return &G1{X: fp.NewElement(1), Y: fp.NewElement(2)} }
 
 // Set copies x into z and returns z.
 func (z *G1) Set(x *G1) *G1 {
-	z.X, z.Y, z.Inf = new(big.Int).Set(x.X), new(big.Int).Set(x.Y), x.Inf
+	*z = *x
 	return z
 }
 
@@ -41,21 +43,22 @@ func (z *G1) Equal(x *G1) bool {
 	if z.Inf || x.Inf {
 		return z.Inf == x.Inf
 	}
-	return z.X.Cmp(x.X) == 0 && z.Y.Cmp(x.Y) == 0
+	return z.X.Equal(&x.X) && z.Y.Equal(&x.Y)
 }
 
 // IsOnCurve reports whether z satisfies y² = x³ + 3 (the identity counts as
-// on-curve).
+// on-curve). Field elements are canonical by construction, so no range
+// check is needed here; decode paths validate ranges before reduction.
 func (z *G1) IsOnCurve() bool {
 	if z.Inf {
 		return true
 	}
-	if z.X.Sign() < 0 || z.X.Cmp(P) >= 0 || z.Y.Sign() < 0 || z.Y.Cmp(P) >= 0 {
-		return false
-	}
-	lhs := fpMul(z.Y, z.Y)
-	rhs := fpAdd(fpMul(fpMul(z.X, z.X), z.X), curveB)
-	return lhs.Cmp(rhs) == 0
+	var lhs, rhs fp.Element
+	lhs.Square(&z.Y)
+	rhs.Square(&z.X)
+	rhs.Mul(&rhs, &z.X)
+	rhs.Add(&rhs, &curveB)
+	return lhs.Equal(&rhs)
 }
 
 // Neg sets z = -x.
@@ -63,7 +66,9 @@ func (z *G1) Neg(x *G1) *G1 {
 	if x.Inf {
 		return z.Set(x)
 	}
-	z.X, z.Y, z.Inf = new(big.Int).Set(x.X), fpNeg(x.Y), false
+	z.X.Set(&x.X)
+	z.Y.Neg(&x.Y)
+	z.Inf = false
 	return z
 }
 
@@ -75,55 +80,77 @@ func (z *G1) Add(a, b *G1) *G1 {
 	if b.Inf {
 		return z.Set(a)
 	}
-	if a.X.Cmp(b.X) == 0 {
-		if a.Y.Cmp(b.Y) != 0 {
+	if a.X.Equal(&b.X) {
+		if !a.Y.Equal(&b.Y) {
 			return z.Set(G1Infinity())
 		}
 		return z.Double(a)
 	}
-	// lambda = (y2-y1)/(x2-x1)
-	lambda := fpMul(fpSub(b.Y, a.Y), fpInv(fpSub(b.X, a.X)))
-	x3 := fpSub(fpSub(fpMul(lambda, lambda), a.X), b.X)
-	y3 := fpSub(fpMul(lambda, fpSub(a.X, x3)), a.Y)
+	// lambda = (y2-y1)/(x2-x1); x2 ≠ x1 here, so the inverse exists.
+	var num, den, lambda, x3, y3 fp.Element
+	num.Sub(&b.Y, &a.Y)
+	den.Sub(&b.X, &a.X)
+	fpMustInverse(&den, &den)
+	lambda.Mul(&num, &den)
+	x3.Square(&lambda)
+	x3.Sub(&x3, &a.X)
+	x3.Sub(&x3, &b.X)
+	y3.Sub(&a.X, &x3)
+	y3.Mul(&y3, &lambda)
+	y3.Sub(&y3, &a.Y)
 	z.X, z.Y, z.Inf = x3, y3, false
 	return z
 }
 
 // Double sets z = 2a.
 func (z *G1) Double(a *G1) *G1 {
-	if a.Inf || a.Y.Sign() == 0 {
+	if a.Inf || a.Y.IsZero() {
 		return z.Set(G1Infinity())
 	}
-	// lambda = 3x²/(2y)
-	num := fpMul(big.NewInt(3), fpMul(a.X, a.X))
-	lambda := fpMul(num, fpInv(fpAdd(a.Y, a.Y)))
-	x3 := fpSub(fpSub(fpMul(lambda, lambda), a.X), a.X)
-	y3 := fpSub(fpMul(lambda, fpSub(a.X, x3)), a.Y)
+	// lambda = 3x²/(2y); y ≠ 0 here, so the inverse exists.
+	var num, den, lambda, x3, y3 fp.Element
+	num.Square(&a.X)
+	den.Double(&num)
+	num.Add(&den, &num) // 3x²
+	den.Double(&a.Y)
+	fpMustInverse(&den, &den)
+	lambda.Mul(&num, &den)
+	x3.Square(&lambda)
+	x3.Sub(&x3, &a.X)
+	x3.Sub(&x3, &a.X)
+	y3.Sub(&a.X, &x3)
+	y3.Mul(&y3, &lambda)
+	y3.Sub(&y3, &a.Y)
 	z.X, z.Y, z.Inf = x3, y3, false
 	return z
 }
 
-// ScalarMult sets z = k·a by an affine double-and-add ladder. Negative k
-// multiplies by -a.
+// ScalarMult sets z = k·a via the Jacobian ladder. Negative k multiplies
+// by -a.
 //
-// Affine is deliberate: on math/big, extended-GCD modular inversion costs
-// about the same as the ~7 extra field multiplications of a Jacobian
-// doubling, so projective coordinates buy nothing here (measured by
-// BenchmarkG1ScalarMult vs BenchmarkG1ScalarMultJacobian; see DESIGN.md
-// §5). The Jacobian implementation is kept in jacobian.go, cross-checked
-// by tests.
+// With Montgomery-form arithmetic a field inversion costs hundreds of
+// multiplications, so the affine ladder that was competitive on math/big
+// (one inversion per step ≈ one generic reduction) is no longer; the
+// Jacobian path defers to a single inversion at the end. The affine ladder
+// survives as g1ScalarMultAffine, cross-checked by TestJacobianMatchesAffine
+// (see DESIGN.md §5).
 func (z *G1) ScalarMult(a *G1, k *big.Int) *G1 {
 	opCounters.g1Mults.Add(1)
 	e := new(big.Int).Mod(k, Order)
+	return z.Set(g1ScalarMultJac(a, e))
+}
+
+// g1ScalarMultAffine is the affine double-and-add reference ladder,
+// retained for differential tests against the Jacobian fast path.
+func g1ScalarMultAffine(a *G1, k *big.Int) *G1 {
 	acc := G1Infinity()
-	base := new(G1).Set(a)
-	for i := e.BitLen() - 1; i >= 0; i-- {
+	for i := k.BitLen() - 1; i >= 0; i-- {
 		acc.Double(acc)
-		if e.Bit(i) == 1 {
-			acc.Add(acc, base)
+		if k.Bit(i) == 1 {
+			acc.Add(acc, a)
 		}
 	}
-	return z.Set(acc)
+	return acc
 }
 
 // ScalarBaseMult sets z = k·G where G is the canonical generator.
@@ -139,8 +166,9 @@ func (z *G1) Marshal() []byte {
 	if z.Inf {
 		return out
 	}
-	z.X.FillBytes(out[:32])
-	z.Y.FillBytes(out[32:])
+	xb, yb := z.X.Bytes(), z.Y.Bytes()
+	copy(out[:32], xb[:])
+	copy(out[32:], yb[:])
 	return out
 }
 
@@ -149,8 +177,8 @@ var (
 	ErrInvalidPoint = errors.New("bn254: invalid point encoding")
 )
 
-// Unmarshal decodes a point produced by Marshal, validating curve
-// membership.
+// Unmarshal decodes a point produced by Marshal, validating coordinate
+// range and curve membership.
 func (z *G1) Unmarshal(data []byte) error {
 	if len(data) != g1MarshalledSize {
 		return fmt.Errorf("%w: G1 wants %d bytes, got %d", ErrInvalidPoint, g1MarshalledSize, len(data))
@@ -161,16 +189,21 @@ func (z *G1) Unmarshal(data []byte) error {
 		z.Set(G1Infinity())
 		return nil
 	}
-	cand := &G1{X: x, Y: y}
+	if x.Cmp(P) >= 0 || y.Cmp(P) >= 0 {
+		return fmt.Errorf("%w: G1 coordinate out of range", ErrInvalidPoint)
+	}
+	var cand G1
+	cand.X.SetBigInt(x)
+	cand.Y.SetBigInt(y)
 	if !cand.IsOnCurve() {
 		return fmt.Errorf("%w: G1 point not on curve", ErrInvalidPoint)
 	}
-	z.Set(cand)
+	z.Set(&cand)
 	return nil
 }
 
-// hashCounterStream derives an unbounded stream of 32-byte blocks from
-// (domain, msg) via SHA-256(domain ‖ counter ‖ msg).
+// hashBlock derives 32-byte blocks from (domain, msg) via
+// SHA-256(domain ‖ counter ‖ msg).
 func hashBlock(domain string, msg []byte, counter uint32) []byte {
 	h := sha256.New()
 	h.Write([]byte(domain))
@@ -188,16 +221,18 @@ func hashBlock(domain string, msg []byte, counter uint32) []byte {
 func HashToG1(domain string, msg []byte) *G1 {
 	for counter := uint32(0); ; counter++ {
 		block := hashBlock(domain, msg, counter)
-		x := new(big.Int).Mod(new(big.Int).SetBytes(block), P)
-		rhs := fpAdd(fpMul(fpMul(x, x), x), curveB)
-		y := fpSqrt(rhs)
-		if y == nil {
+		var x, rhs, y fp.Element
+		x.SetBigInt(new(big.Int).SetBytes(block))
+		rhs.Square(&x)
+		rhs.Mul(&rhs, &x)
+		rhs.Add(&rhs, &curveB)
+		if !y.Sqrt(&rhs) {
 			continue
 		}
 		// Use one stream bit to pick between y and -y so the map is not
 		// biased toward even roots.
 		if block[len(block)-1]&1 == 1 {
-			y = fpNeg(y)
+			y.Neg(&y)
 		}
 		return &G1{X: x, Y: y}
 	}
@@ -220,5 +255,5 @@ func (z *G1) String() string {
 	if z.Inf {
 		return "G1(inf)"
 	}
-	return fmt.Sprintf("G1(%v, %v)", z.X, z.Y)
+	return fmt.Sprintf("G1(%v, %v)", z.X.String(), z.Y.String())
 }

@@ -6,30 +6,31 @@ import (
 )
 
 // G2 is a point of the order-r subgroup of the sextic twist
-// E'(Fp2): y² = x³ + 3/xi, in affine coordinates. Unlike G1, the twist has a
-// large cofactor (2p - r), so points from hashing are cofactor-cleared and
-// points from untrusted encodings are subgroup-checked.
+// E'(Fp2): y² = x³ + 3/xi, in affine coordinates with value-type Fp2
+// coordinates. Unlike G1, the twist has a large cofactor (2p - r), so
+// points from hashing are cofactor-cleared and points from untrusted
+// encodings are subgroup-checked.
 type G2 struct {
-	X, Y *Fp2
+	X, Y Fp2
 	// Inf marks the point at infinity; X and Y are ignored when set.
 	Inf bool
 }
 
 // G2Infinity returns the identity element.
-func G2Infinity() *G2 { return &G2{X: Fp2Zero(), Y: Fp2Zero(), Inf: true} }
+func G2Infinity() *G2 { return &G2{Inf: true} }
 
 // g2Gen holds the canonical generator (the alt_bn128 generator used by
 // go-ethereum and gnark); validated by tests against curve and subgroup
 // membership.
 var g2Gen = &G2{
-	X: &Fp2{
-		C0: mustBig("10857046999023057135944570762232829481370756359578518086990519993285655852781"),
-		C1: mustBig("11559732032986387107991004021392285783925812861821192530917403151452391805634"),
-	},
-	Y: &Fp2{
-		C0: mustBig("8495653923123431417604973247489272438418190587263600148770280649306958101930"),
-		C1: mustBig("4082367875863433681332203403145435568316851327593401208105741076214120093531"),
-	},
+	X: *fp2FromBig(
+		mustBig("10857046999023057135944570762232829481370756359578518086990519993285655852781"),
+		mustBig("11559732032986387107991004021392285783925812861821192530917403151452391805634"),
+	),
+	Y: *fp2FromBig(
+		mustBig("8495653923123431417604973247489272438418190587263600148770280649306958101930"),
+		mustBig("4082367875863433681332203403145435568316851327593401208105741076214120093531"),
+	),
 }
 
 // G2Generator returns the canonical generator.
@@ -37,7 +38,7 @@ func G2Generator() *G2 { return new(G2).Set(g2Gen) }
 
 // Set copies x into z and returns z.
 func (z *G2) Set(x *G2) *G2 {
-	z.X, z.Y, z.Inf = new(Fp2).Set(x.X), new(Fp2).Set(x.Y), x.Inf
+	*z = *x
 	return z
 }
 
@@ -49,7 +50,7 @@ func (z *G2) Equal(x *G2) bool {
 	if z.Inf || x.Inf {
 		return z.Inf == x.Inf
 	}
-	return z.X.Equal(x.X) && z.Y.Equal(x.Y)
+	return z.X.Equal(&x.X) && z.Y.Equal(&x.Y)
 }
 
 // IsOnCurve reports whether z satisfies the twist equation y² = x³ + 3/xi
@@ -59,10 +60,12 @@ func (z *G2) IsOnCurve() bool {
 	if z.Inf {
 		return true
 	}
-	lhs := new(Fp2).Square(z.Y)
-	rhs := new(Fp2).Mul(new(Fp2).Square(z.X), z.X)
-	rhs.Add(rhs, twistB)
-	return lhs.Equal(rhs)
+	var lhs, rhs Fp2
+	lhs.Square(&z.Y)
+	rhs.Square(&z.X)
+	rhs.Mul(&rhs, &z.X)
+	rhs.Add(&rhs, twistB)
+	return lhs.Equal(&rhs)
 }
 
 // IsInSubgroup reports whether z lies in the order-r subgroup.
@@ -72,10 +75,9 @@ func (z *G2) IsInSubgroup() bool {
 
 // Neg sets z = -x.
 func (z *G2) Neg(x *G2) *G2 {
-	if x.Inf {
-		return z.Set(x)
-	}
-	z.X, z.Y, z.Inf = new(Fp2).Set(x.X), new(Fp2).Neg(x.Y), false
+	z.X.Set(&x.X)
+	z.Y.Neg(&x.Y)
+	z.Inf = x.Inf
 	return z
 }
 
@@ -87,20 +89,22 @@ func (z *G2) Add(a, b *G2) *G2 {
 	if b.Inf {
 		return z.Set(a)
 	}
-	if a.X.Equal(b.X) {
-		if !a.Y.Equal(b.Y) {
+	if a.X.Equal(&b.X) {
+		if !a.Y.Equal(&b.Y) {
 			return z.Set(G2Infinity())
 		}
 		return z.Double(a)
 	}
-	lambda := new(Fp2).Sub(b.Y, a.Y)
-	lambda.Mul(lambda, new(Fp2).Inverse(new(Fp2).Sub(b.X, a.X)))
-	x3 := new(Fp2).Square(lambda)
-	x3.Sub(x3, a.X)
-	x3.Sub(x3, b.X)
-	y3 := new(Fp2).Sub(a.X, x3)
-	y3.Mul(y3, lambda)
-	y3.Sub(y3, a.Y)
+	var lambda, den, x3, y3 Fp2
+	lambda.Sub(&b.Y, &a.Y)
+	den.Sub(&b.X, &a.X)
+	lambda.Mul(&lambda, den.Inverse(&den))
+	x3.Square(&lambda)
+	x3.Sub(&x3, &a.X)
+	x3.Sub(&x3, &b.X)
+	y3.Sub(&a.X, &x3)
+	y3.Mul(&y3, &lambda)
+	y3.Sub(&y3, &a.Y)
 	z.X, z.Y, z.Inf = x3, y3, false
 	return z
 }
@@ -110,33 +114,43 @@ func (z *G2) Double(a *G2) *G2 {
 	if a.Inf || a.Y.IsZero() {
 		return z.Set(G2Infinity())
 	}
-	lambda := new(Fp2).Square(a.X)
-	lambda.MulScalar(lambda, big.NewInt(3))
-	lambda.Mul(lambda, new(Fp2).Inverse(new(Fp2).Add(a.Y, a.Y)))
-	x3 := new(Fp2).Square(lambda)
-	x3.Sub(x3, a.X)
-	x3.Sub(x3, a.X)
-	y3 := new(Fp2).Sub(a.X, x3)
-	y3.Mul(y3, lambda)
-	y3.Sub(y3, a.Y)
+	var lambda, t, den, x3, y3 Fp2
+	t.Square(&a.X)
+	lambda.Add(&t, &t)
+	lambda.Add(&lambda, &t) // 3x²
+	den.Add(&a.Y, &a.Y)
+	lambda.Mul(&lambda, den.Inverse(&den))
+	x3.Square(&lambda)
+	x3.Sub(&x3, &a.X)
+	x3.Sub(&x3, &a.X)
+	y3.Sub(&a.X, &x3)
+	y3.Mul(&y3, &lambda)
+	y3.Sub(&y3, &a.Y)
 	z.X, z.Y, z.Inf = x3, y3, false
 	return z
 }
 
 // scalarMultFull computes k·a for an arbitrary-width non-negative k, without
 // reducing modulo the group order. It is used for cofactor clearing and
-// subgroup checks, where k may legitimately exceed r.
+// subgroup checks, where k may legitimately exceed r. The heavy lifting is
+// Jacobian (jacobian.go); the affine ladder g2ScalarMultAffine remains as
+// the cross-checked reference.
 func (z *G2) scalarMultFull(a *G2, k *big.Int) *G2 {
 	opCounters.g2Mults.Add(1)
+	return z.Set(g2ScalarMultJac(a, k))
+}
+
+// g2ScalarMultAffine is the affine double-and-add reference ladder,
+// retained for differential tests against the Jacobian fast path.
+func g2ScalarMultAffine(a *G2, k *big.Int) *G2 {
 	acc := G2Infinity()
-	base := new(G2).Set(a)
 	for i := k.BitLen() - 1; i >= 0; i-- {
 		acc.Double(acc)
 		if k.Bit(i) == 1 {
-			acc.Add(acc, base)
+			acc.Add(acc, a)
 		}
 	}
-	return z.Set(acc)
+	return acc
 }
 
 // ScalarMult sets z = k·a for points already in the order-r subgroup.
@@ -158,10 +172,9 @@ func (z *G2) Marshal() []byte {
 	if z.Inf {
 		return out
 	}
-	z.X.C0.FillBytes(out[0:32])
-	z.X.C1.FillBytes(out[32:64])
-	z.Y.C0.FillBytes(out[64:96])
-	z.Y.C1.FillBytes(out[96:128])
+	for i, e := range [...][32]byte{z.X.C0.Bytes(), z.X.C1.Bytes(), z.Y.C0.Bytes(), z.Y.C1.Bytes()} {
+		copy(out[32*i:32*(i+1)], e[:])
+	}
 	return out
 }
 
@@ -187,7 +200,7 @@ func (z *G2) Unmarshal(data []byte) error {
 		z.Set(G2Infinity())
 		return nil
 	}
-	cand := &G2{X: &Fp2{C0: coords[0], C1: coords[1]}, Y: &Fp2{C0: coords[2], C1: coords[3]}}
+	cand := &G2{X: *fp2FromBig(coords[0], coords[1]), Y: *fp2FromBig(coords[2], coords[3])}
 	if !cand.IsInSubgroup() {
 		return fmt.Errorf("%w: G2 point not in subgroup", ErrInvalidPoint)
 	}
@@ -202,20 +215,18 @@ func HashToG2(domain string, msg []byte) *G2 {
 	for counter := uint32(0); ; counter++ {
 		b0 := hashBlock(domain+"/x0", msg, counter)
 		b1 := hashBlock(domain+"/x1", msg, counter)
-		x := &Fp2{
-			C0: new(big.Int).Mod(new(big.Int).SetBytes(b0), P),
-			C1: new(big.Int).Mod(new(big.Int).SetBytes(b1), P),
-		}
-		rhs := new(Fp2).Mul(new(Fp2).Square(x), x)
-		rhs.Add(rhs, twistB)
-		y := new(Fp2).Sqrt(rhs)
-		if y == nil {
+		x := fp2FromBig(new(big.Int).SetBytes(b0), new(big.Int).SetBytes(b1))
+		var rhs, y Fp2
+		rhs.Square(x)
+		rhs.Mul(&rhs, x)
+		rhs.Add(&rhs, twistB)
+		if y.Sqrt(&rhs) == nil {
 			continue
 		}
 		if b0[len(b0)-1]&1 == 1 {
-			y.Neg(y)
+			y.Neg(&y)
 		}
-		pt := new(G2).scalarMultFull(&G2{X: x, Y: y}, g2Cofactor)
+		pt := new(G2).scalarMultFull(&G2{X: *x, Y: y}, g2Cofactor)
 		if pt.IsInfinity() {
 			continue
 		}
@@ -230,10 +241,11 @@ func (z *G2) frobeniusTwist(a *G2) *G2 {
 	if a.Inf {
 		return z.Set(a)
 	}
-	x := new(Fp2).Conjugate(a.X)
-	x.Mul(x, xiToPMinus1Over3)
-	y := new(Fp2).Conjugate(a.Y)
-	y.Mul(y, xiToPMinus1Over2)
+	var x, y Fp2
+	x.Conjugate(&a.X)
+	x.Mul(&x, xiToPMinus1Over3)
+	y.Conjugate(&a.Y)
+	y.Mul(&y, xiToPMinus1Over2)
 	z.X, z.Y, z.Inf = x, y, false
 	return z
 }
@@ -243,5 +255,5 @@ func (z *G2) String() string {
 	if z.Inf {
 		return "G2(inf)"
 	}
-	return fmt.Sprintf("G2(%v, %v)", z.X, z.Y)
+	return fmt.Sprintf("G2(%v, %v)", z.X.String(), z.Y.String())
 }

@@ -1,91 +1,139 @@
 package bn254
 
-import "math/big"
+import (
+	"math/big"
+
+	"mccls/internal/bn254/fp"
+)
 
 // Jacobian-coordinate scalar multiplication for G1 and G2. A point (X, Y, Z)
 // represents the affine point (X/Z², Y/Z³); doubling and addition avoid the
-// per-step modular inversion of the affine chord-and-tangent rule, cutting a
-// 254-bit scalar multiplication from ~380 field inversions to one. The
+// per-step field inversion of the affine chord-and-tangent rule, cutting a
+// 254-bit scalar multiplication from ~380 inversions (each worth hundreds
+// of Montgomery multiplications) to one. All accumulator updates mutate in
+// place on value-type limbs, so the ladder itself does not allocate. The
 // affine ladders remain in g1.go/g2.go as the cross-checked reference
 // (TestJacobianMatchesAffine).
 
 // g1Jac is a G1 point in Jacobian coordinates. Z = 0 encodes infinity.
 type g1Jac struct {
-	x, y, z *big.Int
+	x, y, z fp.Element
 }
 
-func g1JacFromAffine(p *G1) *g1Jac {
+func (j *g1Jac) setInfinity() {
+	j.x.SetOne()
+	j.y.SetOne()
+	j.z.SetZero()
+}
+
+func (j *g1Jac) fromAffine(p *G1) {
 	if p.Inf {
-		return &g1Jac{x: big.NewInt(1), y: big.NewInt(1), z: big.NewInt(0)}
+		j.setInfinity()
+		return
 	}
-	return &g1Jac{x: new(big.Int).Set(p.X), y: new(big.Int).Set(p.Y), z: big.NewInt(1)}
+	j.x.Set(&p.X)
+	j.y.Set(&p.Y)
+	j.z.SetOne()
 }
 
-func (j *g1Jac) isInfinity() bool { return j.z.Sign() == 0 }
+func (j *g1Jac) isInfinity() bool { return j.z.IsZero() }
 
 func (j *g1Jac) affine() *G1 {
 	if j.isInfinity() {
 		return G1Infinity()
 	}
-	zInv := fpInv(j.z)
-	zInv2 := fpMul(zInv, zInv)
-	x := fpMul(j.x, zInv2)
-	y := fpMul(j.y, fpMul(zInv2, zInv))
-	return &G1{X: x, Y: y}
+	var zInv, zInv2, zInv3 fp.Element
+	fpMustInverse(&zInv, &j.z)
+	zInv2.Square(&zInv)
+	zInv3.Mul(&zInv2, &zInv)
+	var out G1
+	out.X.Mul(&j.x, &zInv2)
+	out.Y.Mul(&j.y, &zInv3)
+	return &out
 }
 
-// double returns 2j using the a=0 dbl-2009-l formulas.
-func (j *g1Jac) double() *g1Jac {
-	if j.isInfinity() || j.y.Sign() == 0 {
-		return &g1Jac{x: big.NewInt(1), y: big.NewInt(1), z: big.NewInt(0)}
-	}
-	a := fpMul(j.x, j.x)       // X²
-	b := fpMul(j.y, j.y)       // Y²
-	c := fpMul(b, b)           // B²
-	t := fpAdd(j.x, b)         // X+B
-	d := fpMul(t, t)           // (X+B)²
-	d = fpSub(fpSub(d, a), c)  // (X+B)²-A-C
-	d = fpAdd(d, d)            // D = 2(...)
-	e := fpAdd(fpAdd(a, a), a) // E = 3A
-	f := fpMul(e, e)           // F = E²
-	x3 := fpSub(f, fpAdd(d, d))
-	c8 := fpAdd(c, c)
-	c8 = fpAdd(c8, c8)
-	c8 = fpAdd(c8, c8)
-	y3 := fpSub(fpMul(e, fpSub(d, x3)), c8)
-	z3 := fpMul(j.y, j.z)
-	z3 = fpAdd(z3, z3)
-	return &g1Jac{x: x3, y: y3, z: z3}
-}
-
-// addMixed returns j + q for an affine, non-infinity q (madd-2007-bl).
-func (j *g1Jac) addMixed(q *G1) *g1Jac {
+// double sets j = 2j in place using the a=0 dbl-2009-l formulas.
+func (j *g1Jac) double() {
 	if j.isInfinity() {
-		return g1JacFromAffine(q)
+		return
 	}
-	z1z1 := fpMul(j.z, j.z)
-	u2 := fpMul(q.X, z1z1)
-	s2 := fpMul(fpMul(q.Y, j.z), z1z1)
-	if u2.Cmp(j.x) == 0 {
-		if s2.Cmp(j.y) != 0 {
-			return &g1Jac{x: big.NewInt(1), y: big.NewInt(1), z: big.NewInt(0)}
+	if j.y.IsZero() {
+		j.setInfinity()
+		return
+	}
+	var a, b, c, d, e, f, t fp.Element
+	a.Square(&j.x)  // A = X²
+	b.Square(&j.y)  // B = Y²
+	c.Square(&b)    // C = B²
+	d.Add(&j.x, &b) // X+B
+	d.Square(&d)    // (X+B)²
+	d.Sub(&d, &a)   //
+	d.Sub(&d, &c)   //
+	d.Double(&d)    // D = 2((X+B)²-A-C)
+	e.Double(&a)    //
+	e.Add(&e, &a)   // E = 3A
+	f.Square(&e)    // F = E²
+	j.z.Mul(&j.y, &j.z)
+	j.z.Double(&j.z) // Z3 = 2YZ (uses old Y, old Z)
+	t.Double(&d)
+	j.x.Sub(&f, &t) // X3 = F - 2D
+	t.Sub(&d, &j.x)
+	t.Mul(&t, &e)
+	c.Double(&c)
+	c.Double(&c)
+	c.Double(&c)    // 8C
+	j.y.Sub(&t, &c) // Y3 = E(D-X3) - 8C
+}
+
+// addMixed sets j = j + q in place for an affine, non-infinity q
+// (madd-2007-bl).
+func (j *g1Jac) addMixed(q *G1) {
+	if j.isInfinity() {
+		j.fromAffine(q)
+		return
+	}
+	var z1z1, u2, s2 fp.Element
+	z1z1.Square(&j.z)
+	u2.Mul(&q.X, &z1z1)
+	s2.Mul(&q.Y, &j.z)
+	s2.Mul(&s2, &z1z1)
+	if u2.Equal(&j.x) {
+		if !s2.Equal(&j.y) {
+			j.setInfinity()
+			return
 		}
-		return j.double()
+		j.double()
+		return
 	}
-	h := fpSub(u2, j.x)
-	hh := fpMul(h, h)
-	i := fpAdd(hh, hh)
-	i = fpAdd(i, i) // 4H²
-	jj := fpMul(h, i)
-	r := fpSub(s2, j.y)
-	r = fpAdd(r, r)
-	v := fpMul(j.x, i)
-	x3 := fpSub(fpSub(fpMul(r, r), jj), fpAdd(v, v))
-	y1jj := fpMul(j.y, jj)
-	y3 := fpSub(fpMul(r, fpSub(v, x3)), fpAdd(y1jj, y1jj))
-	z3 := fpMul(fpAdd(j.z, h), fpAdd(j.z, h))
-	z3 = fpSub(fpSub(z3, z1z1), hh)
-	return &g1Jac{x: x3, y: y3, z: z3}
+	var h, hh, i, jj, r, v, t fp.Element
+	h.Sub(&u2, &j.x)
+	hh.Square(&h)
+	i.Double(&hh)
+	i.Double(&i) // 4H²
+	jj.Mul(&h, &i)
+	r.Sub(&s2, &j.y)
+	r.Double(&r)
+	v.Mul(&j.x, &i)
+	// X3 = r² - J - 2V
+	var x3 fp.Element
+	x3.Square(&r)
+	x3.Sub(&x3, &jj)
+	t.Double(&v)
+	x3.Sub(&x3, &t)
+	// Y3 = r(V - X3) - 2·Y1·J (old Y1)
+	var y3 fp.Element
+	y3.Sub(&v, &x3)
+	y3.Mul(&y3, &r)
+	t.Mul(&j.y, &jj)
+	t.Double(&t)
+	y3.Sub(&y3, &t)
+	// Z3 = (Z1 + H)² - Z1Z1 - HH
+	var z3 fp.Element
+	z3.Add(&j.z, &h)
+	z3.Square(&z3)
+	z3.Sub(&z3, &z1z1)
+	z3.Sub(&z3, &hh)
+	j.x, j.y, j.z = x3, y3, z3
 }
 
 // g1ScalarMultJac computes k·a (k already reduced and non-negative).
@@ -93,11 +141,12 @@ func g1ScalarMultJac(a *G1, k *big.Int) *G1 {
 	if a.Inf || k.Sign() == 0 {
 		return G1Infinity()
 	}
-	acc := &g1Jac{x: big.NewInt(1), y: big.NewInt(1), z: big.NewInt(0)}
+	var acc g1Jac
+	acc.setInfinity()
 	for i := k.BitLen() - 1; i >= 0; i-- {
-		acc = acc.double()
+		acc.double()
 		if k.Bit(i) == 1 {
-			acc = acc.addMixed(a)
+			acc.addMixed(a)
 		}
 	}
 	return acc.affine()
@@ -106,14 +155,23 @@ func g1ScalarMultJac(a *G1, k *big.Int) *G1 {
 // g2Jac is a G2 point in Jacobian coordinates over Fp2. Z = 0 encodes
 // infinity.
 type g2Jac struct {
-	x, y, z *Fp2
+	x, y, z Fp2
 }
 
-func g2JacFromAffine(p *G2) *g2Jac {
+func (j *g2Jac) setInfinity() {
+	j.x = *Fp2One()
+	j.y = *Fp2One()
+	j.z = Fp2{}
+}
+
+func (j *g2Jac) fromAffine(p *G2) {
 	if p.Inf {
-		return &g2Jac{x: Fp2One(), y: Fp2One(), z: Fp2Zero()}
+		j.setInfinity()
+		return
 	}
-	return &g2Jac{x: new(Fp2).Set(p.X), y: new(Fp2).Set(p.Y), z: Fp2One()}
+	j.x = p.X
+	j.y = p.Y
+	j.z = *Fp2One()
 }
 
 func (j *g2Jac) isInfinity() bool { return j.z.IsZero() }
@@ -122,74 +180,89 @@ func (j *g2Jac) affine() *G2 {
 	if j.isInfinity() {
 		return G2Infinity()
 	}
-	zInv := new(Fp2).Inverse(j.z)
-	zInv2 := new(Fp2).Square(zInv)
-	x := new(Fp2).Mul(j.x, zInv2)
-	y := new(Fp2).Mul(j.y, new(Fp2).Mul(zInv2, zInv))
-	return &G2{X: x, Y: y}
+	var zInv, zInv2, zInv3 Fp2
+	zInv.Inverse(&j.z)
+	zInv2.Square(&zInv)
+	zInv3.Mul(&zInv2, &zInv)
+	var out G2
+	out.X.Mul(&j.x, &zInv2)
+	out.Y.Mul(&j.y, &zInv3)
+	return &out
 }
 
-func (j *g2Jac) double() *g2Jac {
-	if j.isInfinity() || j.y.IsZero() {
-		return &g2Jac{x: Fp2One(), y: Fp2One(), z: Fp2Zero()}
-	}
-	a := new(Fp2).Square(j.x)
-	b := new(Fp2).Square(j.y)
-	c := new(Fp2).Square(b)
-	d := new(Fp2).Add(j.x, b)
-	d.Square(d)
-	d.Sub(d, a)
-	d.Sub(d, c)
-	d.Add(d, d)
-	e := new(Fp2).Add(a, a)
-	e.Add(e, a)
-	f := new(Fp2).Square(e)
-	x3 := new(Fp2).Sub(f, new(Fp2).Add(d, d))
-	c8 := new(Fp2).Add(c, c)
-	c8.Add(c8, c8)
-	c8.Add(c8, c8)
-	y3 := new(Fp2).Sub(d, x3)
-	y3.Mul(y3, e)
-	y3.Sub(y3, c8)
-	z3 := new(Fp2).Mul(j.y, j.z)
-	z3.Add(z3, z3)
-	return &g2Jac{x: x3, y: y3, z: z3}
-}
-
-func (j *g2Jac) addMixed(q *G2) *g2Jac {
+func (j *g2Jac) double() {
 	if j.isInfinity() {
-		return g2JacFromAffine(q)
+		return
 	}
-	z1z1 := new(Fp2).Square(j.z)
-	u2 := new(Fp2).Mul(q.X, z1z1)
-	s2 := new(Fp2).Mul(q.Y, j.z)
-	s2.Mul(s2, z1z1)
-	if u2.Equal(j.x) {
-		if !s2.Equal(j.y) {
-			return &g2Jac{x: Fp2One(), y: Fp2One(), z: Fp2Zero()}
+	if j.y.IsZero() {
+		j.setInfinity()
+		return
+	}
+	var a, b, c, d, e, f, t Fp2
+	a.Square(&j.x)
+	b.Square(&j.y)
+	c.Square(&b)
+	d.Add(&j.x, &b)
+	d.Square(&d)
+	d.Sub(&d, &a)
+	d.Sub(&d, &c)
+	d.Add(&d, &d)
+	e.Add(&a, &a)
+	e.Add(&e, &a)
+	f.Square(&e)
+	j.z.Mul(&j.y, &j.z)
+	j.z.Add(&j.z, &j.z)
+	t.Add(&d, &d)
+	j.x.Sub(&f, &t)
+	t.Sub(&d, &j.x)
+	t.Mul(&t, &e)
+	c.Add(&c, &c)
+	c.Add(&c, &c)
+	c.Add(&c, &c)
+	j.y.Sub(&t, &c)
+}
+
+func (j *g2Jac) addMixed(q *G2) {
+	if j.isInfinity() {
+		j.fromAffine(q)
+		return
+	}
+	var z1z1, u2, s2 Fp2
+	z1z1.Square(&j.z)
+	u2.Mul(&q.X, &z1z1)
+	s2.Mul(&q.Y, &j.z)
+	s2.Mul(&s2, &z1z1)
+	if u2.Equal(&j.x) {
+		if !s2.Equal(&j.y) {
+			j.setInfinity()
+			return
 		}
-		return j.double()
+		j.double()
+		return
 	}
-	h := new(Fp2).Sub(u2, j.x)
-	hh := new(Fp2).Square(h)
-	i := new(Fp2).Add(hh, hh)
-	i.Add(i, i)
-	jj := new(Fp2).Mul(h, i)
-	r := new(Fp2).Sub(s2, j.y)
-	r.Add(r, r)
-	v := new(Fp2).Mul(j.x, i)
-	x3 := new(Fp2).Square(r)
-	x3.Sub(x3, jj)
-	x3.Sub(x3, new(Fp2).Add(v, v))
-	y1jj := new(Fp2).Mul(j.y, jj)
-	y3 := new(Fp2).Sub(v, x3)
-	y3.Mul(y3, r)
-	y3.Sub(y3, new(Fp2).Add(y1jj, y1jj))
-	z3 := new(Fp2).Add(j.z, h)
-	z3.Square(z3)
-	z3.Sub(z3, z1z1)
-	z3.Sub(z3, hh)
-	return &g2Jac{x: x3, y: y3, z: z3}
+	var h, hh, i, jj, r, v, t, x3, y3, z3 Fp2
+	h.Sub(&u2, &j.x)
+	hh.Square(&h)
+	i.Add(&hh, &hh)
+	i.Add(&i, &i)
+	jj.Mul(&h, &i)
+	r.Sub(&s2, &j.y)
+	r.Add(&r, &r)
+	v.Mul(&j.x, &i)
+	x3.Square(&r)
+	x3.Sub(&x3, &jj)
+	t.Add(&v, &v)
+	x3.Sub(&x3, &t)
+	y3.Sub(&v, &x3)
+	y3.Mul(&y3, &r)
+	t.Mul(&j.y, &jj)
+	t.Add(&t, &t)
+	y3.Sub(&y3, &t)
+	z3.Add(&j.z, &h)
+	z3.Square(&z3)
+	z3.Sub(&z3, &z1z1)
+	z3.Sub(&z3, &hh)
+	j.x, j.y, j.z = x3, y3, z3
 }
 
 // g2ScalarMultJac computes k·a for any non-negative k (not reduced; used
@@ -198,11 +271,12 @@ func g2ScalarMultJac(a *G2, k *big.Int) *G2 {
 	if a.Inf || k.Sign() == 0 {
 		return G2Infinity()
 	}
-	acc := &g2Jac{x: Fp2One(), y: Fp2One(), z: Fp2Zero()}
+	var acc g2Jac
+	acc.setInfinity()
 	for i := k.BitLen() - 1; i >= 0; i-- {
-		acc = acc.double()
+		acc.double()
 		if k.Bit(i) == 1 {
-			acc = acc.addMixed(a)
+			acc.addMixed(a)
 		}
 	}
 	return acc.affine()

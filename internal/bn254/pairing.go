@@ -2,6 +2,8 @@ package bn254
 
 import (
 	"math/big"
+
+	"mccls/internal/bn254/fp"
 )
 
 // GT is an element of the order-r target group (the cyclotomic subgroup of
@@ -50,8 +52,9 @@ func (z *GT) Exp(a *GT, k *big.Int) *GT {
 func (z *GT) Marshal() []byte {
 	out := make([]byte, 12*32)
 	for k := 0; k < 6; k++ {
-		z.v.C[k].C0.FillBytes(out[64*k : 64*k+32])
-		z.v.C[k].C1.FillBytes(out[64*k+32 : 64*k+64])
+		c0, c1 := z.v.C[k].C0.Bytes(), z.v.C[k].C1.Bytes()
+		copy(out[64*k:64*k+32], c0[:])
+		copy(out[64*k+32:64*k+64], c1[:])
 	}
 	return out
 }
@@ -59,20 +62,19 @@ func (z *GT) Marshal() []byte {
 // lineEval is the sparse Fp12 element a + b·w + c·w³ produced by evaluating
 // a Miller line at a G1 point; a ∈ Fp, b, c ∈ Fp2.
 type lineEval struct {
-	a *big.Int
-	b *Fp2
-	c *Fp2
+	a fp.Element
+	b Fp2
+	c Fp2
 }
 
-// fp12 expands the sparse line into a full Fp12 element.
+// fp12 expands the sparse line into a full Fp12 element. Fp12.Mul skips
+// zero coefficients, so multiplying by the expansion already exploits the
+// sparsity.
 func (l *lineEval) fp12() *Fp12 {
 	z := &Fp12{}
-	for k := 0; k < 6; k++ {
-		z.C[k] = Fp2Zero()
-	}
-	z.C[0] = &Fp2{C0: new(big.Int).Set(l.a), C1: big.NewInt(0)}
-	z.C[1] = new(Fp2).Set(l.b)
-	z.C[3] = new(Fp2).Set(l.c)
+	z.C[0].C0 = l.a
+	z.C[1] = l.b
+	z.C[3] = l.c
 	return z
 }
 
@@ -80,17 +82,21 @@ func (l *lineEval) fp12() *Fp12 {
 // at p (both the line and the doubled point).
 func doubleStep(t *G2, p *G1) *lineEval {
 	// lambda' = 3x²/(2y) on the twist.
-	lambda := new(Fp2).Square(t.X)
-	lambda.MulScalar(lambda, big.NewInt(3))
-	lambda.Mul(lambda, new(Fp2).Inverse(new(Fp2).Add(t.Y, t.Y)))
-	l := lineAt(t, lambda, p)
+	var lambda, s, den Fp2
+	s.Square(&t.X)
+	lambda.Add(&s, &s)
+	lambda.Add(&lambda, &s)
+	den.Add(&t.Y, &t.Y)
+	lambda.Mul(&lambda, den.Inverse(&den))
+	l := lineAt(t, &lambda, p)
 
-	x3 := new(Fp2).Square(lambda)
-	x3.Sub(x3, t.X)
-	x3.Sub(x3, t.X)
-	y3 := new(Fp2).Sub(t.X, x3)
-	y3.Mul(y3, lambda)
-	y3.Sub(y3, t.Y)
+	var x3, y3 Fp2
+	x3.Square(&lambda)
+	x3.Sub(&x3, &t.X)
+	x3.Sub(&x3, &t.X)
+	y3.Sub(&t.X, &x3)
+	y3.Mul(&y3, &lambda)
+	y3.Sub(&y3, &t.Y)
 	t.X, t.Y = x3, y3
 	return l
 }
@@ -99,16 +105,19 @@ func doubleStep(t *G2, p *G1) *lineEval {
 // evaluated at p. t and q must be distinct non-identity points with
 // different x (guaranteed along the ate loop for prime-order inputs).
 func addStep(t *G2, q *G2, p *G1) *lineEval {
-	lambda := new(Fp2).Sub(q.Y, t.Y)
-	lambda.Mul(lambda, new(Fp2).Inverse(new(Fp2).Sub(q.X, t.X)))
-	l := lineAt(t, lambda, p)
+	var lambda, den Fp2
+	lambda.Sub(&q.Y, &t.Y)
+	den.Sub(&q.X, &t.X)
+	lambda.Mul(&lambda, den.Inverse(&den))
+	l := lineAt(t, &lambda, p)
 
-	x3 := new(Fp2).Square(lambda)
-	x3.Sub(x3, t.X)
-	x3.Sub(x3, q.X)
-	y3 := new(Fp2).Sub(t.X, x3)
-	y3.Mul(y3, lambda)
-	y3.Sub(y3, t.Y)
+	var x3, y3 Fp2
+	x3.Square(&lambda)
+	x3.Sub(&x3, &t.X)
+	x3.Sub(&x3, &q.X)
+	y3.Sub(&t.X, &x3)
+	y3.Mul(&y3, &lambda)
+	y3.Sub(&y3, &t.Y)
 	t.X, t.Y = x3, y3
 	return l
 }
@@ -117,10 +126,12 @@ func addStep(t *G2, q *G2, p *G1) *lineEval {
 // lambda at the G1 point p. Under the untwist map (x, y) → (x·w², y·w³) the
 // line value is (-y_p) + (lambda·x_p)·w + (y_t - lambda·x_t)·w³.
 func lineAt(t *G2, lambda *Fp2, p *G1) *lineEval {
-	b := new(Fp2).MulScalar(lambda, p.X)
-	c := new(Fp2).Mul(lambda, t.X)
-	c.Sub(new(Fp2).Set(t.Y), c)
-	return &lineEval{a: fpNeg(p.Y), b: b, c: c}
+	l := &lineEval{}
+	l.b.MulScalar(lambda, &p.X)
+	l.c.Mul(lambda, &t.X)
+	l.c.Sub(&t.Y, &l.c)
+	l.a.Neg(&p.Y)
+	return l
 }
 
 // millerLoop computes f_{6u+2,Q}(P) · l_{T,π(Q)}(P) · l_{T+π(Q),-π²(Q)}(P),

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+)
+
+// End-to-end McCLS benchmarks. They live here rather than in
+// internal/bn254 because bn254 cannot import core (it is the layer below);
+// allocs/op is reported so regressions in the allocation-free Montgomery
+// arithmetic underneath show up at the protocol level too.
+
+func benchSystem(b *testing.B) (*KGC, *PrivateKey, *Verifier) {
+	b.Helper()
+	rng := fixedRand(1)
+	kgc, err := Setup(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ppk := kgc.ExtractPartialPrivateKey("bench-node@manet")
+	sk, err := GenerateKeyPair(kgc.Params(), ppk, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return kgc, sk, NewVerifier(kgc.Params())
+}
+
+func BenchmarkSign(b *testing.B) {
+	kgc, sk, _ := benchSystem(b)
+	msg := []byte("RREQ 7 from bench-node")
+	rng := fixedRand(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sign(kgc.Params(), sk, msg, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	kgc, sk, vf := benchSystem(b)
+	msg := []byte("RREQ 7 from bench-node")
+	sig, err := Sign(kgc.Params(), sk, msg, fixedRand(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := vf.Verify(sk.Public(), msg, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
