@@ -1,19 +1,26 @@
 // Command manetsim regenerates the paper's simulation figures (Figures
-// 1–5): AODV vs McCLS-AODV across node speed, with and without 2-node
-// black hole and rushing attacks.
+// 1–5 plus the DSR extension): AODV vs McCLS-AODV across node speed, with
+// and without 2-node black hole and rushing attacks. Every sweep point and
+// repeat of a figure runs concurrently on a bounded worker pool; output is
+// bit-identical at any -parallel value.
 //
 // Usage:
 //
-//	manetsim -fig 1            # one figure
-//	manetsim -all              # all five
-//	manetsim -fig 5 -csv       # machine-readable output
+//	manetsim -fig 1                     # one figure
+//	manetsim -all                       # all five + DSR extension
+//	manetsim -fig 5 -csv                # machine-readable output
 //	manetsim -fig 3 -duration 900s -repeats 5 -seed 42
+//	manetsim -all -parallel 8 -progress # 8 workers, per-trial progress
+//	manetsim -all -timeout 2m -json BENCH_manet.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -22,26 +29,57 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "manetsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	fig := flag.Int("fig", 0, "figure to regenerate (1-5; 6 = DSR extension)")
-	all := flag.Bool("all", false, "regenerate all figures including the DSR extension")
-	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	duration := flag.Duration("duration", 300*time.Second, "simulated time per run")
-	repeats := flag.Int("repeats", 3, "seeds averaged per sweep point")
-	seed := flag.Int64("seed", 1, "base RNG seed")
-	speeds := flag.String("speeds", "1,5,10,15,20", "comma-separated node speeds (m/s)")
-	nodes := flag.Int("nodes", 20, "number of nodes")
-	flows := flag.Int("flows", 10, "CBR flows")
-	flag.Parse()
+// figStats is one figure's entry in the -json dump: wall-clock for the
+// whole figure plus the trial-level observability the runner collected.
+type figStats struct {
+	Figure       string  `json:"figure"`
+	WallMs       float64 `json:"wall_ms"`
+	Trials       int     `json:"trials"`
+	TrialWallMs  float64 `json:"trial_wall_ms_total"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// benchReport is the schema of BENCH_manet.json: enough context to compare
+// sweep runs across machines and worker counts.
+type benchReport struct {
+	GoVersion   string     `json:"go_version"`
+	GOARCH      string     `json:"goarch"`
+	NumCPU      int        `json:"num_cpu"`
+	Workers     int        `json:"workers"`
+	Timestamp   string     `json:"timestamp"`
+	Figures     []figStats `json:"figures"`
+	TotalWallMs float64    `json:"total_wall_ms"`
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("manetsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.Int("fig", 0, "figure to regenerate (1-5; 6 = DSR extension)")
+	all := fs.Bool("all", false, "regenerate all figures including the DSR extension")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	duration := fs.Duration("duration", 300*time.Second, "simulated time per run")
+	repeats := fs.Int("repeats", 3, "seeds averaged per sweep point")
+	seed := fs.Int64("seed", 1, "base RNG seed")
+	speeds := fs.String("speeds", "1,5,10,15,20", "comma-separated node speeds (m/s)")
+	nodes := fs.Int("nodes", 20, "number of nodes")
+	flows := fs.Int("flows", 10, "CBR flows")
+	parallel := fs.Int("parallel", 0, "trial worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	timeout := fs.Duration("timeout", 0, "per-trial wall-clock deadline (0 = none)")
+	progress := fs.Bool("progress", false, "print one line per finished trial to stderr")
+	jsonPath := fs.String("json", "", "write per-figure wall-clock and trial stats to this JSON file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if !*all && (*fig < 1 || *fig > 6) {
-		flag.Usage()
+		fs.Usage()
 		return fmt.Errorf("pass -fig 1..6 or -all")
 	}
 	speedVals, err := parseSpeeds(*speeds)
@@ -49,11 +87,31 @@ func run() error {
 		return err
 	}
 
+	// Per-figure trial stats are folded out of the progress stream, which
+	// also powers the optional -progress trace.
+	var st figStats
 	cfg := manet.SweepConfig{
-		Base:    manet.Scenario{Duration: *duration, Nodes: *nodes, Flows: *flows},
-		Speeds:  speedVals,
-		Repeats: *repeats,
-		Seed:    *seed,
+		Base:         manet.Scenario{Duration: *duration, Nodes: *nodes, Flows: *flows},
+		Speeds:       speedVals,
+		Repeats:      *repeats,
+		Seed:         *seed,
+		Workers:      *parallel,
+		TrialTimeout: *timeout,
+		Progress: func(u manet.TrialUpdate) {
+			st.Trials++
+			st.TrialWallMs += float64(u.Wall) / float64(time.Millisecond)
+			st.Events += u.Events
+			if *progress {
+				status := "ok"
+				if u.Err != nil {
+					status = u.Err.Error()
+				}
+				fmt.Fprintf(stderr, "[%3d/%3d] %-36s %8.1fms %9d ev %12.0f ev/s  %s\n",
+					u.Done, u.Total, u.Label,
+					float64(u.Wall)/float64(time.Millisecond),
+					u.Events, u.EventsPerSec, status)
+			}
+		},
 	}
 
 	gens := map[int]func(manet.SweepConfig) (manet.Figure, error){
@@ -65,29 +123,74 @@ func run() error {
 	if *all {
 		which = []int{1, 2, 3, 4, 5, 6}
 	}
+
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	report := benchReport{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Workers:   workers,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	allStart := time.Now()
 	for _, id := range which {
+		st = figStats{}
 		start := time.Now()
 		figure, err := gens[id](cfg)
 		if err != nil {
 			return fmt.Errorf("figure %d: %w", id, err)
 		}
+		wall := time.Since(start)
 		if *csv {
-			fmt.Print(figure.CSV())
+			fmt.Fprint(stdout, figure.CSV())
 		} else {
-			fmt.Print(figure.Render())
-			fmt.Printf("(regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+			fmt.Fprint(stdout, figure.Render())
+			fmt.Fprintf(stdout, "(regenerated in %v, %d trials on %d workers)\n\n",
+				wall.Round(time.Millisecond), st.Trials, workers)
 		}
+		st.Figure = figure.ID
+		st.WallMs = float64(wall) / float64(time.Millisecond)
+		if secs := wall.Seconds(); secs > 0 {
+			st.EventsPerSec = float64(st.Events) / secs
+		}
+		report.Figures = append(report.Figures, st)
+	}
+	report.TotalWallMs = float64(time.Since(allStart)) / float64(time.Millisecond)
+
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "manetsim: wrote %s\n", *jsonPath)
 	}
 	return nil
 }
 
+// parseSpeeds parses the -speeds list, rejecting malformed, non-positive
+// and duplicate entries — a duplicated speed would silently double-count a
+// sweep point, and a non-positive one is not a speed.
 func parseSpeeds(s string) ([]float64, error) {
 	var out []float64
+	seen := map[float64]bool{}
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad speed %q: %w", part, err)
 		}
+		if v <= 0 {
+			return nil, fmt.Errorf("speed %q must be positive", part)
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("duplicate speed %g", v)
+		}
+		seen[v] = true
 		out = append(out, v)
 	}
 	return out, nil

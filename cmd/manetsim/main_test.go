@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseSpeeds(t *testing.T) {
 	got, err := parseSpeeds("1, 5,10.5")
@@ -16,7 +22,99 @@ func TestParseSpeeds(t *testing.T) {
 			t.Fatalf("got %v, want %v", got, want)
 		}
 	}
-	if _, err := parseSpeeds("1,x"); err == nil {
-		t.Fatal("accepted malformed speed list")
+}
+
+func TestParseSpeedsRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"malformed":    "1,x",
+		"zero":         "0,5",
+		"negative":     "-3",
+		"duplicate":    "5,10,5",
+		"dup-spacing":  "5, 5",
+		"empty-item":   "1,,2",
+		"all-negative": "-1,-5",
+	}
+	for name, input := range cases {
+		if _, err := parseSpeeds(input); err == nil {
+			t.Fatalf("%s: accepted %q", name, input)
+		}
+	}
+}
+
+func TestRunRequiresFigureSelection(t *testing.T) {
+	if err := run(nil, new(strings.Builder), new(strings.Builder)); err == nil {
+		t.Fatal("no -fig/-all accepted")
+	}
+	if err := run([]string{"-fig", "7"}, new(strings.Builder), new(strings.Builder)); err == nil {
+		t.Fatal("out-of-range -fig accepted")
+	}
+	if err := run([]string{"-fig", "1", "-speeds", "5,5"}, new(strings.Builder), new(strings.Builder)); err == nil {
+		t.Fatal("duplicate speeds accepted")
+	}
+}
+
+// TestRunFig6EndToEnd drives the CLI through the DSR extension figure on a
+// tiny parallel sweep, checking the rendered table, the progress trace and
+// the BENCH_manet.json dump.
+func TestRunFig6EndToEnd(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_manet.json")
+	var stdout, stderr strings.Builder
+	err := run([]string{
+		"-fig", "6",
+		"-duration", "10s",
+		"-speeds", "5",
+		"-repeats", "2",
+		"-parallel", "4",
+		"-progress",
+		"-json", jsonPath,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "figDSR") || !strings.Contains(out, "McCLS-DSR rushing") {
+		t.Fatalf("figure table missing:\n%s", out)
+	}
+	if !strings.Contains(out, "±") {
+		t.Fatalf("rendered figure missing confidence intervals:\n%s", out)
+	}
+	// 4 curves × 1 speed × 2 repeats = 8 trials traced to stderr.
+	if !strings.Contains(stderr.String(), "[  8/  8]") {
+		t.Fatalf("progress trace incomplete:\n%s", stderr.String())
+	}
+
+	blob, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("BENCH_manet.json malformed: %v", err)
+	}
+	if rep.Workers != 4 || len(rep.Figures) != 1 {
+		t.Fatalf("report header wrong: %+v", rep)
+	}
+	fs := rep.Figures[0]
+	if fs.Figure != "figDSR" || fs.Trials != 8 || fs.Events == 0 || fs.WallMs <= 0 {
+		t.Fatalf("figure stats wrong: %+v", fs)
+	}
+	if rep.TotalWallMs < fs.WallMs {
+		t.Fatalf("total wall %.1fms below figure wall %.1fms", rep.TotalWallMs, fs.WallMs)
+	}
+}
+
+// TestRunCSVCarriesCI checks the -csv path emits the ci95 columns.
+func TestRunCSVCarriesCI(t *testing.T) {
+	var stdout, stderr strings.Builder
+	err := run([]string{
+		"-fig", "1", "-csv",
+		"-duration", "10s", "-speeds", "5", "-repeats", "2",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := strings.SplitN(stdout.String(), "\n", 2)[0]
+	if head != "speed,AODV,AODV ci95,McCLS,McCLS ci95" {
+		t.Fatalf("csv header = %q", head)
 	}
 }

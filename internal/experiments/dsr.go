@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -18,8 +20,16 @@ import (
 // model, traffic, attacks and metrics run unchanged over a source-routing
 // protocol. Grayhole is not wired for DSR; use Blackhole/Rushing/NoAttack.
 func (sc Scenario) RunDSR() (Result, error) {
+	return sc.RunDSRContext(context.Background())
+}
+
+// RunDSRContext is RunDSR under a context; see Scenario.RunContext for the
+// cancellation semantics.
+func (sc Scenario) RunDSRContext(ctx context.Context) (Result, error) {
 	sc = sc.withDefaults()
 	s := sim.New(sc.Seed)
+	s.SetMaxEvents(sc.MaxEvents)
+	s.SetInterrupt(ctx.Err)
 
 	horizon := sc.Duration + 30*time.Second
 	mob := mobility.NewRandomWaypoint(mobility.RandomWaypointConfig{
@@ -74,7 +84,10 @@ func (sc Scenario) RunDSR() (Result, error) {
 	})
 
 	s.Run(sc.Duration + 12*time.Second)
-	return Result{Summary: collectDSR(nodes), Radio: medium.Stats}, nil
+	if err := s.Err(); err != nil {
+		return Result{}, fmt.Errorf("scenario aborted after %d events: %w", s.Processed(), err)
+	}
+	return Result{Summary: collectDSR(nodes), Radio: medium.Stats, Events: s.Processed()}, nil
 }
 
 // collectDSR maps DSR counters onto the shared metrics summary (route
@@ -103,39 +116,22 @@ func collectDSR(nodes []*dsr.Node) metrics.Summary {
 // FigureDSR is the generality extension experiment (no paper counterpart):
 // packet drop ratio under 2-node black hole and rushing attacks with DSR as
 // the substrate, plain vs McCLS-authenticated. The expected shape mirrors
-// Figure 5: nonzero drops for plain DSR, zero for McCLS-DSR.
+// Figure 5: nonzero drops for plain DSR, zero for McCLS-DSR. All curves,
+// sweep points and repeats run concurrently on the trial pool.
 func FigureDSR(cfg SweepConfig) (Figure, error) {
-	cfg = cfg.withDefaults()
-	combos := []struct {
-		label string
-		sec   SecurityMode
-		atk   AttackMode
-	}{
+	curves := []curve{
 		{"DSR black hole", Plain, Blackhole},
 		{"DSR rushing", Plain, Rushing},
 		{"McCLS-DSR black hole", McCLSCost, Blackhole},
 		{"McCLS-DSR rushing", McCLSCost, Rushing},
 	}
+	results, err := cfg.runSweeps(curves, Scenario.RunDSRContext)
+	if err != nil {
+		return Figure{}, err
+	}
 	var series []Series
-	for _, c := range combos {
-		ser := Series{Label: c.label, X: cfg.Speeds}
-		for _, speed := range cfg.Speeds {
-			runs := make([]metrics.Summary, 0, cfg.Repeats)
-			for k := 0; k < cfg.Repeats; k++ {
-				sc := cfg.Base
-				sc.MaxSpeed = speed
-				sc.Security = c.sec
-				sc.Attack = c.atk
-				sc.Seed = cfg.Seed + int64(k)*7919
-				res, err := sc.RunDSR()
-				if err != nil {
-					return Figure{}, err
-				}
-				runs = append(runs, res.Summary)
-			}
-			ser.Y = append(ser.Y, metrics.Average(runs).PacketDropRatio())
-		}
-		series = append(series, ser)
+	for i, c := range curves {
+		series = append(series, results[i].series(c.label, dropSel))
 	}
 	return Figure{
 		ID: "figDSR", Title: "Packet Drop Ratio (DSR extension)",

@@ -1,10 +1,15 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
+
+	"mccls/internal/sim"
 )
 
 // quick returns a small, fast scenario for integration tests.
@@ -260,6 +265,194 @@ func TestTable1RowsAndOrdering(t *testing.T) {
 	out := RenderTable1(rows)
 	if !strings.Contains(out, "McCLS") || !strings.Contains(out, "1p+1s") {
 		t.Fatalf("table rendering broken:\n%s", out)
+	}
+}
+
+// TestParallelMatchesSerial is the refactor's hard invariant: a figure
+// generated on one worker is bit-identical to the same figure generated on
+// many, at any worker count — every trial owns its seed-derived RNGs and
+// all cross-trial state is read-only.
+func TestParallelMatchesSerial(t *testing.T) {
+	mk := func(workers int) SweepConfig {
+		return SweepConfig{
+			Base:    Scenario{Duration: 30 * time.Second},
+			Speeds:  []float64{1, 15},
+			Repeats: 2,
+			Seed:    9,
+			Workers: workers,
+		}
+	}
+	serial, err := Figure4(mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		par, err := Figure4(mk(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("figure diverges between 1 and %d workers:\nserial: %+v\nparallel: %+v",
+				workers, serial, par)
+		}
+	}
+	// The DSR substrate rides the same engine; pin it too.
+	dsrSerial, err := FigureDSR(SweepConfig{
+		Base: Scenario{Duration: 30 * time.Second}, Speeds: []float64{5},
+		Repeats: 2, Seed: 9, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsrPar, err := FigureDSR(SweepConfig{
+		Base: Scenario{Duration: 30 * time.Second}, Speeds: []float64{5},
+		Repeats: 2, Seed: 9, Workers: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dsrSerial, dsrPar) {
+		t.Fatal("DSR figure diverges between serial and parallel execution")
+	}
+}
+
+// TestSeriesCarryConfidenceIntervals: repeats > 1 must surface error bars.
+func TestSeriesCarryConfidenceIntervals(t *testing.T) {
+	fig, err := Figure1(SweepConfig{
+		Base: Scenario{Duration: 30 * time.Second}, Speeds: []float64{5, 15},
+		Repeats: 3, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		if len(s.YErr) != len(s.Y) {
+			t.Fatalf("series %s: %d error bars for %d points", s.Label, len(s.YErr), len(s.Y))
+		}
+		for i, e := range s.YErr {
+			if e < 0 {
+				t.Fatalf("series %s point %d: negative CI %v", s.Label, i, e)
+			}
+		}
+	}
+	csv := fig.CSV()
+	if !strings.Contains(csv, "AODV ci95") || !strings.Contains(csv, "McCLS ci95") {
+		t.Fatalf("CSV missing CI columns:\n%s", csv)
+	}
+	if !strings.Contains(fig.Render(), "±") {
+		t.Fatalf("render missing error bars:\n%s", fig.Render())
+	}
+}
+
+// TestExplicitZeroSentinels covers the withDefaults zero-value trap: plain
+// zero selects the paper default, ExplicitZero selects an actual zero.
+func TestExplicitZeroSentinels(t *testing.T) {
+	def := Scenario{}.withDefaults()
+	if def.Attackers != 2 || def.GrayholeDropProb != 0.5 {
+		t.Fatalf("paper defaults changed: %+v", def)
+	}
+	zero := Scenario{Attackers: ExplicitZero, GrayholeDropProb: ExplicitZero}.withDefaults()
+	if zero.Attackers != 0 {
+		t.Fatalf("Attackers: ExplicitZero → %d, want 0", zero.Attackers)
+	}
+	if zero.GrayholeDropProb != 0 {
+		t.Fatalf("GrayholeDropProb: ExplicitZero → %v, want 0", zero.GrayholeDropProb)
+	}
+
+	// End to end: a black hole "attack" with zero attackers behaves like
+	// no attack at all...
+	sc := quick()
+	sc.Attack = Blackhole
+	sc.Attackers = ExplicitZero
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PacketDropRatio() != 0 {
+		t.Fatalf("zero attackers still dropped packets: %v", res.PacketDropRatio())
+	}
+	// ...and a gray hole with zero drop probability forwards everything.
+	gh := quick()
+	gh.Attack = Grayhole
+	gh.GrayholeDropProb = ExplicitZero
+	ghRes, err := gh.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ghRes.PacketDropRatio() != 0 {
+		t.Fatalf("never-dropping gray hole dropped: %v", ghRes.PacketDropRatio())
+	}
+}
+
+// TestMaxEventsFailsTrial: the event budget converts a too-long event chain
+// into a per-run error instead of unbounded work.
+func TestMaxEventsFailsTrial(t *testing.T) {
+	sc := quick()
+	sc.MaxEvents = 50
+	_, err := sc.Run()
+	if !errors.Is(err, sim.ErrEventBudget) {
+		t.Fatalf("err = %v, want sim.ErrEventBudget", err)
+	}
+	// The same budget fails a DSR run too.
+	_, err = sc.RunDSR()
+	if !errors.Is(err, sim.ErrEventBudget) {
+		t.Fatalf("DSR err = %v, want sim.ErrEventBudget", err)
+	}
+}
+
+// TestRunContextCancellation: a dead context aborts a scenario promptly.
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := quick().RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSweepTrialTimeout: the per-trial deadline fails the sweep instead of
+// hanging it.
+func TestSweepTrialTimeout(t *testing.T) {
+	cfg := SweepConfig{
+		Base:         Scenario{Duration: 300 * time.Second},
+		Speeds:       []float64{5},
+		Repeats:      1,
+		Seed:         3,
+		TrialTimeout: time.Nanosecond,
+	}
+	_, err := cfg.Sweep(Plain, NoAttack)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+// TestSweepProgressObservability: one update per trial, with event counts.
+func TestSweepProgressObservability(t *testing.T) {
+	var updates []TrialUpdate
+	cfg := SweepConfig{
+		Base:     Scenario{Duration: 20 * time.Second},
+		Speeds:   []float64{1, 5},
+		Repeats:  2,
+		Seed:     4,
+		Progress: func(u TrialUpdate) { updates = append(updates, u) },
+	}
+	if _, err := Figure5(cfg); err != nil {
+		t.Fatal(err)
+	}
+	want := 4 * 2 * 2 // curves × speeds × repeats
+	if len(updates) != want {
+		t.Fatalf("got %d progress updates, want %d", len(updates), want)
+	}
+	for _, u := range updates {
+		if u.Err != nil {
+			t.Fatalf("trial %q failed: %v", u.Label, u.Err)
+		}
+		if u.Events == 0 || u.EventsPerSec <= 0 {
+			t.Fatalf("trial %q missing event observability: %+v", u.Label, u)
+		}
+		if u.Total != want || u.Done < 1 || u.Done > want {
+			t.Fatalf("malformed update: %+v", u)
+		}
 	}
 }
 

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
 	"mccls/internal/metrics"
+	"mccls/internal/runner"
 )
 
 // Series is one labelled curve of a figure.
@@ -13,6 +15,10 @@ type Series struct {
 	Label string
 	X     []float64 // node speed in m/s
 	Y     []float64
+	// YErr is the half-width of the 95% confidence interval of each Y,
+	// computed over the per-seed repeats (Student t). Empty when the
+	// series was built without repeat statistics.
+	YErr []float64
 }
 
 // Figure is a regenerated paper figure: its identity plus the data series
@@ -25,6 +31,10 @@ type Figure struct {
 	Series []Series
 }
 
+// TrialUpdate is the per-trial progress record delivered to
+// SweepConfig.Progress (one per finished simulation).
+type TrialUpdate = runner.Update
+
 // SweepConfig drives a speed sweep. Zero values select the paper's setup.
 type SweepConfig struct {
 	// Base is the common scenario; its MaxSpeed/Security/Attack/Seed are
@@ -35,8 +45,21 @@ type SweepConfig struct {
 	Speeds []float64
 	// Repeats averages each point over this many seeds (default 3).
 	Repeats int
-	// Seed is the base RNG seed; repeat k of a point uses Seed + k.
+	// Seed is the base RNG seed; repeat k of a point uses Seed + k·7919.
 	Seed int64
+
+	// Workers bounds the parallel trial pool (default GOMAXPROCS; 1
+	// forces serial execution). Every trial owns its seed-derived RNGs,
+	// so figure output is bit-identical at any worker count.
+	Workers int
+	// TrialTimeout is the per-trial wall-clock deadline (0 = none); a
+	// trial that exceeds it fails the sweep instead of hanging the pool.
+	TrialTimeout time.Duration
+	// Progress, when non-nil, receives one update per finished trial
+	// (serialized calls; keep it fast).
+	Progress func(TrialUpdate)
+	// Context cancels the whole sweep when done (nil = Background).
+	Context context.Context
 }
 
 func (cfg SweepConfig) withDefaults() SweepConfig {
@@ -49,65 +72,110 @@ func (cfg SweepConfig) withDefaults() SweepConfig {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.Context == nil {
+		cfg.Context = context.Background()
+	}
 	return cfg
 }
 
-// runPoint executes one (speed, security, attack) sweep point averaged over
-// the configured repeats.
-func (cfg SweepConfig) runPoint(speed float64, sec SecurityMode, atk AttackMode) (metrics.Summary, error) {
-	runs := make([]metrics.Summary, 0, cfg.Repeats)
-	for k := 0; k < cfg.Repeats; k++ {
-		sc := cfg.Base
-		sc.MaxSpeed = speed
-		sc.Security = sec
-		sc.Attack = atk
-		sc.Seed = cfg.Seed + int64(k)*7919
-		res, err := sc.Run()
-		if err != nil {
-			return metrics.Summary{}, err
-		}
-		runs = append(runs, res.Summary)
-	}
-	return metrics.Average(runs), nil
+// curve is one (label, security, attack) combination swept across the
+// speed axis.
+type curve struct {
+	label string
+	sec   SecurityMode
+	atk   AttackMode
 }
 
-// SweepResult holds one protocol variant's summaries across the speed axis.
-type SweepResult struct {
-	Speeds    []float64
-	Summaries []metrics.Summary
-}
+// scenarioRunner abstracts the routing substrate (Scenario.RunContext for
+// AODV, Scenario.RunDSRContext for DSR) so one sweep engine serves both.
+type scenarioRunner func(Scenario, context.Context) (Result, error)
 
-// Sweep runs the speed sweep for one (security, attack) combination.
-func (cfg SweepConfig) Sweep(sec SecurityMode, atk AttackMode) (SweepResult, error) {
+// runSweeps is the sweep engine: it expands every (curve, speed, repeat)
+// combination of a figure into one flat batch of trials, fans the batch out
+// over the worker pool, and folds the repeats back into per-point
+// aggregates — one SweepResult per curve, in curve order. Each trial is
+// fully determined by its scenario (all RNG streams derive from the
+// per-trial seed), so the fold is bit-identical at any worker count.
+func (cfg SweepConfig) runSweeps(curves []curve, run scenarioRunner) ([]SweepResult, error) {
 	cfg = cfg.withDefaults()
-	out := SweepResult{Speeds: cfg.Speeds}
-	for _, v := range cfg.Speeds {
-		s, err := cfg.runPoint(v, sec, atk)
-		if err != nil {
-			return SweepResult{}, err
+	trials := make([]runner.Trial[metrics.Summary], 0, len(curves)*len(cfg.Speeds)*cfg.Repeats)
+	for _, c := range curves {
+		for _, speed := range cfg.Speeds {
+			for k := 0; k < cfg.Repeats; k++ {
+				sc := cfg.Base
+				sc.MaxSpeed = speed
+				sc.Security = c.sec
+				sc.Attack = c.atk
+				sc.Seed = cfg.Seed + int64(k)*7919
+				trials = append(trials, runner.Trial[metrics.Summary]{
+					Label: fmt.Sprintf("%s v=%g seed=%d", c.label, speed, sc.Seed),
+					Run: func(ctx context.Context, obs *runner.Obs) (metrics.Summary, error) {
+						res, err := run(sc, ctx)
+						obs.Events = res.Events
+						return res.Summary, err
+					},
+				})
+			}
 		}
-		out.Summaries = append(out.Summaries, s)
+	}
+	sums, err := runner.Run(cfg.Context, runner.Options{
+		Workers:  cfg.Workers,
+		Timeout:  cfg.TrialTimeout,
+		Progress: cfg.Progress,
+	}, trials)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]SweepResult, len(curves))
+	idx := 0
+	for i := range curves {
+		r := SweepResult{Speeds: cfg.Speeds}
+		for range cfg.Speeds {
+			agg := metrics.NewAggregate(sums[idx : idx+cfg.Repeats])
+			idx += cfg.Repeats
+			r.Aggregates = append(r.Aggregates, agg)
+			r.Summaries = append(r.Summaries, agg.Pooled)
+		}
+		out[i] = r
 	}
 	return out, nil
 }
 
-// series projects a sweep result through a metric extractor.
-func (r SweepResult) series(label string, f func(metrics.Summary) float64) Series {
-	s := Series{Label: label, X: r.Speeds}
-	for _, sum := range r.Summaries {
-		s.Y = append(s.Y, f(sum))
-	}
-	return s
+// SweepResult holds one curve's statistics across the speed axis.
+type SweepResult struct {
+	Speeds []float64
+	// Summaries pool the repeats of each point (traffic-weighted, what
+	// the figures plot).
+	Summaries []metrics.Summary
+	// Aggregates carry the per-point mean/stddev/95% CI across repeats,
+	// aligned with Summaries.
+	Aggregates []metrics.Aggregate
 }
 
-// baselinePair runs the no-attack sweep for AODV and McCLS.
-func baselinePair(cfg SweepConfig) (aodv, mccls SweepResult, err error) {
-	if aodv, err = cfg.Sweep(Plain, NoAttack); err != nil {
-		return
+// Sweep runs the speed sweep for one (security, attack) combination; all
+// points and repeats execute concurrently on the trial pool.
+func (cfg SweepConfig) Sweep(sec SecurityMode, atk AttackMode) (SweepResult, error) {
+	results, err := cfg.runSweeps([]curve{{sec.String(), sec, atk}}, Scenario.RunContext)
+	if err != nil {
+		return SweepResult{}, err
 	}
-	mccls, err = cfg.Sweep(McCLSCost, NoAttack)
-	return
+	return results[0], nil
 }
+
+// metricSel pairs a pooled-value extractor with the matching per-repeat
+// statistic, so a series carries both its plotted value and its error bar.
+type metricSel struct {
+	value func(metrics.Summary) float64
+	stat  func(metrics.Aggregate) metrics.Stat
+}
+
+var (
+	pdrSel   = metricSel{pdr, func(a metrics.Aggregate) metrics.Stat { return a.PDR }}
+	rreqSel  = metricSel{rreqRatio, func(a metrics.Aggregate) metrics.Stat { return a.RREQRatio }}
+	delaySel = metricSel{delayMs, func(a metrics.Aggregate) metrics.Stat { return a.DelayMs }}
+	dropSel  = metricSel{dropRatio, func(a metrics.Aggregate) metrics.Stat { return a.DropRatio }}
+)
 
 func pdr(s metrics.Summary) float64       { return s.PacketDeliveryRatio() }
 func rreqRatio(s metrics.Summary) float64 { return s.RREQRatio() }
@@ -116,71 +184,95 @@ func delayMs(s metrics.Summary) float64 {
 }
 func dropRatio(s metrics.Summary) float64 { return s.PacketDropRatio() }
 
+// series projects a sweep result through a metric selector, attaching the
+// 95% CI of each point as the error bar.
+func (r SweepResult) series(label string, sel metricSel) Series {
+	s := Series{Label: label, X: r.Speeds}
+	for i, sum := range r.Summaries {
+		s.Y = append(s.Y, sel.value(sum))
+		if i < len(r.Aggregates) {
+			s.YErr = append(s.YErr, sel.stat(r.Aggregates[i]).CI95)
+		}
+	}
+	return s
+}
+
+// baseline is the no-attack AODV-vs-McCLS pair shared by Figures 1–4.
+var baseline = []curve{
+	{"AODV", Plain, NoAttack},
+	{"McCLS", McCLSCost, NoAttack},
+}
+
+// attacked is the 2-node black hole / rushing grid of Figures 4–5.
+var attacked = []curve{
+	{"AODV black hole", Plain, Blackhole},
+	{"AODV rushing", Plain, Rushing},
+	{"McCLS black hole", McCLSCost, Blackhole},
+	{"McCLS rushing", McCLSCost, Rushing},
+}
+
+// figure runs one batch of curves (all points and repeats concurrently) and
+// projects every curve through sel.
+func (cfg SweepConfig) figure(curves []curve, sel metricSel) ([]Series, error) {
+	results, err := cfg.runSweeps(curves, Scenario.RunContext)
+	if err != nil {
+		return nil, err
+	}
+	series := make([]Series, len(curves))
+	for i, c := range curves {
+		series[i] = results[i].series(c.label, sel)
+	}
+	return series, nil
+}
+
 // Figure1 regenerates "Packet Delivery Ratio" (no attack): AODV vs McCLS
 // across node speed.
 func Figure1(cfg SweepConfig) (Figure, error) {
-	a, m, err := baselinePair(cfg)
+	series, err := cfg.figure(baseline, pdrSel)
 	if err != nil {
 		return Figure{}, err
 	}
 	return Figure{
 		ID: "fig1", Title: "Packet Delivery Ratio",
 		XLabel: "speed (m/s)", YLabel: "packet delivery ratio",
-		Series: []Series{a.series("AODV", pdr), m.series("McCLS", pdr)},
+		Series: series,
 	}, nil
 }
 
 // Figure2 regenerates "RREQ Ratio" (no attack).
 func Figure2(cfg SweepConfig) (Figure, error) {
-	a, m, err := baselinePair(cfg)
+	series, err := cfg.figure(baseline, rreqSel)
 	if err != nil {
 		return Figure{}, err
 	}
 	return Figure{
 		ID: "fig2", Title: "RREQ Ratio",
 		XLabel: "speed (m/s)", YLabel: "RREQ ratio",
-		Series: []Series{a.series("AODV", rreqRatio), m.series("McCLS", rreqRatio)},
+		Series: series,
 	}, nil
 }
 
 // Figure3 regenerates "End-to-End Delay" (no attack); McCLS pays its
 // signature/verification latency per control hop.
 func Figure3(cfg SweepConfig) (Figure, error) {
-	a, m, err := baselinePair(cfg)
+	series, err := cfg.figure(baseline, delaySel)
 	if err != nil {
 		return Figure{}, err
 	}
 	return Figure{
 		ID: "fig3", Title: "End-to-End Delay",
 		XLabel: "speed (m/s)", YLabel: "delay (ms)",
-		Series: []Series{a.series("AODV", delayMs), m.series("McCLS", delayMs)},
+		Series: series,
 	}, nil
 }
 
 // Figure4 regenerates "Packet Delivery Ratio under attack": the no-attack
-// baselines plus each protocol under 2-node black hole and rushing attacks.
+// baselines plus each protocol under 2-node black hole and rushing attacks,
+// all six curves in one concurrent batch.
 func Figure4(cfg SweepConfig) (Figure, error) {
-	a, m, err := baselinePair(cfg)
+	series, err := cfg.figure(append(append([]curve{}, baseline...), attacked...), pdrSel)
 	if err != nil {
 		return Figure{}, err
-	}
-	combos := []struct {
-		label string
-		sec   SecurityMode
-		atk   AttackMode
-	}{
-		{"AODV black hole", Plain, Blackhole},
-		{"AODV rushing", Plain, Rushing},
-		{"McCLS black hole", McCLSCost, Blackhole},
-		{"McCLS rushing", McCLSCost, Rushing},
-	}
-	series := []Series{a.series("AODV", pdr), m.series("McCLS", pdr)}
-	for _, c := range combos {
-		r, err := cfg.Sweep(c.sec, c.atk)
-		if err != nil {
-			return Figure{}, err
-		}
-		series = append(series, r.series(c.label, pdr))
 	}
 	return Figure{
 		ID: "fig4", Title: "Packet Delivery Ratio under attack",
@@ -192,23 +284,9 @@ func Figure4(cfg SweepConfig) (Figure, error) {
 // Figure5 regenerates "Packet Drop Ratio": the fraction of sourced data
 // absorbed by the attackers for each protocol × attack combination.
 func Figure5(cfg SweepConfig) (Figure, error) {
-	combos := []struct {
-		label string
-		sec   SecurityMode
-		atk   AttackMode
-	}{
-		{"AODV black hole", Plain, Blackhole},
-		{"AODV rushing", Plain, Rushing},
-		{"McCLS black hole", McCLSCost, Blackhole},
-		{"McCLS rushing", McCLSCost, Rushing},
-	}
-	var series []Series
-	for _, c := range combos {
-		r, err := cfg.Sweep(c.sec, c.atk)
-		if err != nil {
-			return Figure{}, err
-		}
-		series = append(series, r.series(c.label, dropRatio))
+	series, err := cfg.figure(attacked, dropSel)
+	if err != nil {
+		return Figure{}, err
 	}
 	return Figure{
 		ID: "fig5", Title: "Packet Drop Ratio",
@@ -217,7 +295,8 @@ func Figure5(cfg SweepConfig) (Figure, error) {
 	}, nil
 }
 
-// Render formats a figure as an aligned text table, one row per speed.
+// Render formats a figure as an aligned text table, one row per speed;
+// values carry their ±95% CI when repeat statistics are available.
 func (f Figure) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s — %s (%s vs %s)\n", f.ID, f.Title, f.YLabel, f.XLabel)
@@ -232,20 +311,30 @@ func (f Figure) Render() string {
 	for i, x := range f.Series[0].X {
 		fmt.Fprintf(&b, "%-8.0f", x)
 		for _, s := range f.Series {
-			fmt.Fprintf(&b, "  %22.3f", s.Y[i])
+			if i < len(s.YErr) {
+				fmt.Fprintf(&b, "  %22s", fmt.Sprintf("%.3f ±%.3f", s.Y[i], s.YErr[i]))
+			} else {
+				fmt.Fprintf(&b, "  %22.3f", s.Y[i])
+			}
 		}
 		b.WriteByte('\n')
 	}
 	return b.String()
 }
 
-// CSV renders the figure as comma-separated values with a header row.
+// CSV renders the figure as comma-separated values with a header row; each
+// series with repeat statistics gains a "<label> ci95" column holding the
+// half-width of its 95% confidence interval.
 func (f Figure) CSV() string {
 	var b strings.Builder
 	b.WriteString("speed")
 	for _, s := range f.Series {
 		b.WriteString(",")
 		b.WriteString(s.Label)
+		if len(s.YErr) > 0 {
+			b.WriteString(",")
+			b.WriteString(s.Label + " ci95")
+		}
 	}
 	b.WriteByte('\n')
 	if len(f.Series) == 0 {
@@ -255,6 +344,9 @@ func (f Figure) CSV() string {
 		fmt.Fprintf(&b, "%g", x)
 		for _, s := range f.Series {
 			fmt.Fprintf(&b, ",%.4f", s.Y[i])
+			if i < len(s.YErr) {
+				fmt.Fprintf(&b, ",%.4f", s.YErr[i])
+			}
 		}
 		b.WriteByte('\n')
 	}

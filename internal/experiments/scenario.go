@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -75,6 +76,13 @@ func (m AttackMode) String() string {
 	}
 }
 
+// ExplicitZero marks a numeric Scenario field as "really zero". Because a
+// field's zero value selects the paper default (Attackers: 0 → 2,
+// GrayholeDropProb: 0 → 0.5), plain 0 is inexpressible there; set the field
+// to ExplicitZero to get an actual zero (no attackers / a gray hole that
+// never drops).
+const ExplicitZero = -1
+
 // Scenario is one simulation configuration. Zero values select the paper's
 // setup (§6): 20 nodes in a 1500×300 m field, random waypoint with zero
 // pause, 10 CBR flows of 512-byte packets at 4 packets/s, two attackers
@@ -91,12 +99,20 @@ type Scenario struct {
 	Rate        float64
 	PacketBytes int
 
-	Security  SecurityMode
-	Attack    AttackMode
+	Security SecurityMode
+	Attack   AttackMode
+	// Attackers is the number of attacking nodes (default 2;
+	// ExplicitZero for an attack with none).
 	Attackers int
 	// GrayholeDropProb is the insider gray hole's per-packet drop
-	// probability (default 0.5; only used when Attack == Grayhole).
+	// probability (default 0.5; ExplicitZero for a gray hole that never
+	// drops; only used when Attack == Grayhole).
 	GrayholeDropProb float64
+
+	// MaxEvents bounds the simulator's event budget (0 = unlimited): a
+	// runaway event chain fails the run with sim.ErrEventBudget instead
+	// of hanging its worker.
+	MaxEvents uint64
 
 	// SignLatency and VerifyLatency override the injected crypto costs
 	// (0 selects the secrouting defaults). Ignored under Plain.
@@ -134,11 +150,17 @@ func (sc Scenario) withDefaults() Scenario {
 	if sc.Attack == 0 {
 		sc.Attack = NoAttack
 	}
-	if sc.Attackers == 0 {
+	switch {
+	case sc.Attackers == 0:
 		sc.Attackers = 2
+	case sc.Attackers < 0: // ExplicitZero
+		sc.Attackers = 0
 	}
-	if sc.GrayholeDropProb == 0 {
+	switch {
+	case sc.GrayholeDropProb == 0:
 		sc.GrayholeDropProb = 0.5
+	case sc.GrayholeDropProb < 0: // ExplicitZero
+		sc.GrayholeDropProb = 0
 	}
 	if sc.Radio.Range == 0 {
 		// QualNet's default 802.11 radio at 2 Mb/s reaches ≈370 m; with
@@ -154,12 +176,24 @@ func (sc Scenario) withDefaults() Scenario {
 type Result struct {
 	metrics.Summary
 	Radio radio.Stats
+	// Events is the number of simulator events the run processed, the
+	// scenario's natural work unit for throughput observability.
+	Events uint64
 }
 
 // Run executes the scenario and returns its metrics.
 func (sc Scenario) Run() (Result, error) {
+	return sc.RunContext(context.Background())
+}
+
+// RunContext executes the scenario under a context: cancellation (or a
+// deadline) is polled by the simulator's interrupt hook and aborts the run
+// with the context's error.
+func (sc Scenario) RunContext(ctx context.Context) (Result, error) {
 	sc = sc.withDefaults()
 	s := sim.New(sc.Seed)
+	s.SetMaxEvents(sc.MaxEvents)
+	s.SetInterrupt(ctx.Err)
 
 	horizon := sc.Duration + 30*time.Second
 	mob := mobility.NewRandomWaypoint(mobility.RandomWaypointConfig{
@@ -224,8 +258,11 @@ func (sc Scenario) Run() (Result, error) {
 
 	// Run past the traffic window so in-flight packets drain.
 	s.Run(sc.Duration + 12*time.Second)
+	if err := s.Err(); err != nil {
+		return Result{}, fmt.Errorf("scenario aborted after %d events: %w", s.Processed(), err)
+	}
 
-	return Result{Summary: metrics.Collect(nodes), Radio: medium.Stats}, nil
+	return Result{Summary: metrics.Collect(nodes), Radio: medium.Stats, Events: s.Processed()}, nil
 }
 
 // buildAuth constructs the authenticator for the security mode, enrolling

@@ -8,9 +8,18 @@ package sim
 
 import (
 	"container/heap"
+	"errors"
 	"math/rand"
 	"time"
 )
+
+// ErrEventBudget is the sticky error set when a simulation exceeds its
+// configured MaxEvents budget (see SetMaxEvents).
+var ErrEventBudget = errors.New("sim: event budget exhausted")
+
+// interruptStride is how many events run between interrupt-hook polls; the
+// hook (typically a context check) stays off the per-event hot path.
+const interruptStride = 1024
 
 // Time is virtual time elapsed since the start of the simulation.
 type Time = time.Duration
@@ -51,6 +60,9 @@ type Simulator struct {
 	queue     eventHeap
 	rng       *rand.Rand
 	processed uint64
+	maxEvents uint64
+	interrupt func() error
+	err       error
 }
 
 // New creates a simulator whose random source is seeded with seed.
@@ -69,6 +81,44 @@ func (s *Simulator) Processed() uint64 { return s.processed }
 
 // Pending reports how many events are queued.
 func (s *Simulator) Pending() int { return len(s.queue) }
+
+// SetMaxEvents bounds the total number of events the simulator will execute
+// (0 = unlimited). When the budget is exhausted Run/RunAll stop and Err
+// returns ErrEventBudget: a runaway event chain fails its run instead of
+// hanging the caller.
+func (s *Simulator) SetMaxEvents(n uint64) { s.maxEvents = n }
+
+// SetInterrupt installs a hook polled every interruptStride events; a
+// non-nil return stops the run and becomes Err. Wire a context in with
+//
+//	s.SetInterrupt(ctx.Err)
+//
+// so a cancelled or timed-out context aborts the simulation promptly.
+func (s *Simulator) SetInterrupt(f func() error) { s.interrupt = f }
+
+// Err reports why the simulation stopped early (budget exhaustion or an
+// interrupt), or nil after a clean run. The error is sticky: once set,
+// further Run/RunAll calls are no-ops.
+func (s *Simulator) Err() error { return s.err }
+
+// stopped checks the budget and interrupt hook before executing the next
+// event, recording the first failure in s.err.
+func (s *Simulator) stopped() bool {
+	if s.err != nil {
+		return true
+	}
+	if s.maxEvents > 0 && s.processed >= s.maxEvents {
+		s.err = ErrEventBudget
+		return true
+	}
+	if s.interrupt != nil && s.processed%interruptStride == 0 {
+		if err := s.interrupt(); err != nil {
+			s.err = err
+			return true
+		}
+	}
+	return false
+}
 
 // Schedule enqueues fn to run after delay d (clamped to ≥ 0). Events
 // scheduled for the same instant run in scheduling order.
@@ -91,28 +141,37 @@ func (s *Simulator) ScheduleAt(t Time, fn func()) {
 
 // Run executes events in timestamp order until the queue drains or the next
 // event lies beyond until; the clock finishes at until (or at the last
-// event, if later events were scheduled exactly at until).
+// event, if later events were scheduled exactly at until). Run stops early
+// when the event budget is exhausted or the interrupt hook fires; check Err
+// to distinguish a clean finish.
 func (s *Simulator) Run(until Time) {
 	for len(s.queue) > 0 {
 		next := s.queue[0]
 		if next.at > until {
 			break
 		}
+		if s.stopped() {
+			return
+		}
 		heap.Pop(&s.queue)
 		s.now = next.at
 		s.processed++
 		next.fn()
 	}
-	if s.now < until {
+	if s.err == nil && s.now < until {
 		s.now = until
 	}
 }
 
 // RunAll executes every queued event, including events that newly-run
 // events schedule. It is intended for tests with naturally finite event
-// chains; a self-rescheduling event makes it run forever.
+// chains; a self-rescheduling event makes it run forever unless an event
+// budget is set, in which case it stops with Err() == ErrEventBudget.
 func (s *Simulator) RunAll() {
 	for len(s.queue) > 0 {
+		if s.stopped() {
+			return
+		}
 		next := heap.Pop(&s.queue).(*event)
 		s.now = next.at
 		s.processed++

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
@@ -79,6 +80,83 @@ func TestNegativeDelayClamped(t *testing.T) {
 	s.RunAll()
 	if s.Processed() != 2 {
 		t.Fatalf("processed %d events, want 2", s.Processed())
+	}
+}
+
+func TestMaxEventsBudget(t *testing.T) {
+	s := New(1)
+	s.SetMaxEvents(10)
+	// A self-rescheduling chain that would run forever under RunAll.
+	var fired int
+	var tick func()
+	tick = func() {
+		fired++
+		s.Schedule(time.Millisecond, tick)
+	}
+	s.Schedule(0, tick)
+	s.RunAll()
+	if s.Err() != ErrEventBudget {
+		t.Fatalf("err = %v, want ErrEventBudget", s.Err())
+	}
+	if fired != 10 {
+		t.Fatalf("executed %d events, want exactly the budget of 10", fired)
+	}
+	// The error is sticky: further runs are no-ops.
+	s.Run(time.Hour)
+	if fired != 10 {
+		t.Fatal("run continued past an exhausted budget")
+	}
+}
+
+func TestMaxEventsCleanRunLeavesNoError(t *testing.T) {
+	s := New(1)
+	s.SetMaxEvents(100)
+	ran := false
+	s.Schedule(time.Millisecond, func() { ran = true })
+	s.Run(time.Second)
+	if !ran || s.Err() != nil {
+		t.Fatalf("budgeted clean run broken: ran=%v err=%v", ran, s.Err())
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("clock = %v, want 1s", s.Now())
+	}
+}
+
+func TestInterruptStopsRun(t *testing.T) {
+	stop := errors.New("stop requested")
+	s := New(1)
+	s.SetInterrupt(func() error { return stop })
+	ran := false
+	s.Schedule(time.Millisecond, func() { ran = true })
+	s.Run(time.Second)
+	if ran {
+		t.Fatal("event executed despite interrupt")
+	}
+	if s.Err() != stop {
+		t.Fatalf("err = %v, want the interrupt error", s.Err())
+	}
+}
+
+func TestInterruptPolledMidRun(t *testing.T) {
+	stop := errors.New("stop")
+	s := New(1)
+	// Pass the poll at event 0, fail the one after the first stride: the
+	// run must stop exactly at the stride boundary.
+	s.SetInterrupt(func() error {
+		if s.Processed() >= interruptStride {
+			return stop
+		}
+		return nil
+	})
+	for i := 0; i < 3*interruptStride; i++ {
+		s.Schedule(time.Duration(i)*time.Microsecond, func() {})
+	}
+	s.RunAll()
+	if s.Err() != stop {
+		t.Fatalf("err = %v, want stop", s.Err())
+	}
+	if got := s.Processed(); got != interruptStride {
+		t.Fatalf("processed %d events, want exactly one stride (%d)", got, interruptStride)
 	}
 }
 

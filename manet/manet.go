@@ -12,13 +12,17 @@
 //	}.Run()
 //	fmt.Println(res.Summary)
 //
-// Or regenerate a whole paper figure:
+// Or regenerate a whole paper figure — every sweep point and repeat runs
+// concurrently on a bounded worker pool (default GOMAXPROCS workers) with
+// bit-identical output at any worker count, and each point carries a 95%
+// confidence interval over its repeats:
 //
 //	fig, err := manet.Figure5(manet.SweepConfig{})
 //	fmt.Print(fig.Render())
 package manet
 
 import (
+	"context"
 	"io"
 
 	"mccls/internal/experiments"
@@ -35,8 +39,20 @@ type (
 	// Summary holds the aggregated protocol counters and computes the
 	// paper's four metrics.
 	Summary = metrics.Summary
-	// SweepConfig drives a node-speed sweep for the figures.
+	// Aggregate is the per-sweep-point statistic across repeated seeds:
+	// the pooled summary plus mean/stddev/95% CI of each headline metric.
+	Aggregate = metrics.Aggregate
+	// Stat is one metric's mean/stddev/95% CI over repeats.
+	Stat = metrics.Stat
+	// SweepConfig drives a node-speed sweep for the figures. Workers,
+	// TrialTimeout and Progress control the parallel trial pool; output
+	// is bit-identical at any worker count.
 	SweepConfig = experiments.SweepConfig
+	// SweepResult is one curve's per-point summaries and aggregates.
+	SweepResult = experiments.SweepResult
+	// TrialUpdate is the per-trial progress record (wall time, simulator
+	// events, events/sec) delivered to SweepConfig.Progress.
+	TrialUpdate = experiments.TrialUpdate
 	// Figure is a regenerated paper figure (labelled data series).
 	Figure = experiments.Figure
 	// Series is one labelled curve.
@@ -71,6 +87,12 @@ const (
 	Grayhole = experiments.Grayhole
 )
 
+// ExplicitZero marks a numeric Scenario field as "really zero" where the
+// plain zero value would select a paper default: Attackers: ExplicitZero
+// means no attackers, GrayholeDropProb: ExplicitZero a gray hole that
+// never drops.
+const ExplicitZero = experiments.ExplicitZero
+
 // Figure regenerators, one per paper figure, plus the DSR generality
 // extension (Scenario.RunDSR runs a single DSR scenario).
 var (
@@ -87,6 +109,12 @@ var (
 // crypto/rand).
 func Table1(iters int, rng io.Reader) ([]Table1Row, error) {
 	return experiments.Table1(iters, rng)
+}
+
+// Table1Context is Table1 under a context, checked between the (slow)
+// per-scheme benchmarks.
+func Table1Context(ctx context.Context, iters int, rng io.Reader) ([]Table1Row, error) {
+	return experiments.Table1Context(ctx, iters, rng)
 }
 
 // RenderTable1 formats Table 1 rows as an aligned text table.

@@ -29,6 +29,49 @@ func TestScenarioZeroValueDefaults(t *testing.T) {
 	}
 }
 
+// TestParallelSweepSurface exercises the parallel-runner surface of the
+// public API: worker count, per-trial progress with event observability,
+// explicit-zero sentinel, and per-point confidence intervals.
+func TestParallelSweepSurface(t *testing.T) {
+	var trials int
+	var lastAgg manet.Aggregate
+	cfg := manet.SweepConfig{
+		Base:     manet.Scenario{Duration: 15 * time.Second},
+		Speeds:   []float64{5},
+		Repeats:  2,
+		Seed:     2,
+		Workers:  4,
+		Progress: func(u manet.TrialUpdate) { trials++ },
+	}
+	res, err := cfg.Sweep(manet.AODV, manet.NoAttack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trials != 2 {
+		t.Fatalf("progress saw %d trials, want 2", trials)
+	}
+	if len(res.Aggregates) != 1 {
+		t.Fatalf("want 1 aggregate, got %d", len(res.Aggregates))
+	}
+	lastAgg = res.Aggregates[0]
+	if lastAgg.N != 2 || lastAgg.PDR.Mean <= 0 {
+		t.Fatalf("aggregate malformed: %+v", lastAgg)
+	}
+
+	// ExplicitZero is re-exported and really means zero.
+	sc := manet.Scenario{
+		Duration: 15 * time.Second, Seed: 3, MaxSpeed: 5,
+		Attack: manet.Blackhole, Attackers: manet.ExplicitZero,
+	}
+	r, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PacketDropRatio() != 0 {
+		t.Fatal("ExplicitZero attackers still dropped traffic")
+	}
+}
+
 // TestFigureGeneratorsWired makes sure every figure function is exported
 // and produces its expected series count on a minimal sweep.
 func TestFigureGeneratorsWired(t *testing.T) {
