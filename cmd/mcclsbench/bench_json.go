@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mccls/internal/bn254"
+	"mccls/internal/core"
 )
 
 // benchEntry is one measured primitive in the BENCH_bn254.json dump.
@@ -52,22 +53,52 @@ func writeBenchJSON(path string, iters int) error {
 	r := rand.New(rand.NewSource(1))
 	k1 := new(big.Int).Rand(r, bn254.Order)
 	k2 := new(big.Int).Rand(r, bn254.Order)
+	bn254.PrecomputeFixedBase()
 	p := new(bn254.G1).ScalarBaseMult(k1)
 	q := new(bn254.G2).ScalarBaseMult(k2)
 	msg := []byte("mcclsbench probe message")
 
+	// A complete McCLS deployment for the end-to-end sign/verify rows.
+	kgc, err := core.Setup(r)
+	if err != nil {
+		return err
+	}
+	sk, err := core.GenerateKeyPair(kgc.Params(), kgc.ExtractPartialPrivateKey("bench@manet"), r)
+	if err != nil {
+		return err
+	}
+	vf := core.NewVerifier(kgc.Params())
+	sig, err := core.Sign(kgc.Params(), sk, msg, r)
+	if err != nil {
+		return err
+	}
+	if err := vf.Verify(sk.Public(), msg, sig); err != nil {
+		return err
+	}
+
 	rep := benchReport{
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,
-		Curve:     "BN254 (Montgomery fixed-width Fp)",
+		Curve:     "BN254 (Montgomery fixed-width Fp, GLV/wNAF + sparse Miller + cyclotomic final exp)",
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		Results: []benchEntry{
 			timeOp("pairing", iters, func() { bn254.Pair(p, q) }),
 			timeOp("g1_scalar_mult", iters, func() { new(bn254.G1).ScalarMult(p, k2) }),
+			timeOp("g1_scalar_base_mult", iters, func() { new(bn254.G1).ScalarBaseMult(k2) }),
 			timeOp("g2_scalar_mult", iters, func() { new(bn254.G2).ScalarMult(q, k1) }),
 			timeOp("hash_to_g1", iters, func() { bn254.HashToG1("bench", msg) }),
 			timeOp("hash_to_g2", iters, func() { bn254.HashToG2("bench", msg) }),
 			timeOp("gt_exp", iters, func() { new(bn254.GT).Exp(bn254.Pair(p, q), k1) }),
+			timeOp("mccls_sign", iters, func() {
+				if _, err := core.Sign(kgc.Params(), sk, msg, r); err != nil {
+					panic(err)
+				}
+			}),
+			timeOp("mccls_verify", iters, func() {
+				if err := vf.Verify(sk.Public(), msg, sig); err != nil {
+					panic(err)
+				}
+			}),
 		},
 	}
 	blob, err := json.MarshalIndent(&rep, "", "  ")

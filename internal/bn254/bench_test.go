@@ -70,6 +70,16 @@ func BenchmarkG1ScalarMult(b *testing.B) {
 	}
 }
 
+func BenchmarkG1ScalarBaseMult(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	k := new(big.Int).Rand(r, Order)
+	PrecomputeFixedBase()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		new(G1).ScalarBaseMult(k)
+	}
+}
+
 func BenchmarkG2ScalarMult(b *testing.B) {
 	r := rand.New(rand.NewSource(3))
 	k := new(big.Int).Rand(r, Order)

@@ -293,6 +293,23 @@ func madd3(a, b, c, d, e uint64) (uint64, uint64) {
 	return hi, lo
 }
 
+// Halve sets z = x/2 and returns z. An odd residue is made even by adding
+// q (odd) first, so the logical right shift is exact; x + q < 2q < 2^255,
+// so the sum never carries out of four limbs.
+func (z *Element) Halve(x *Element) *Element {
+	mask := uint64(0) - (x[0] & 1) // all-ones iff x is odd
+	var c uint64
+	t0, c := bits.Add64(x[0], q0&mask, 0)
+	t1, c := bits.Add64(x[1], q1&mask, c)
+	t2, c := bits.Add64(x[2], q2&mask, c)
+	t3, _ := bits.Add64(x[3], q3&mask, c)
+	z[0] = t0>>1 | t1<<63
+	z[1] = t1>>1 | t2<<63
+	z[2] = t2>>1 | t3<<63
+	z[3] = t3 >> 1
+	return z
+}
+
 // Mul sets z = x·y (Montgomery product) and returns z, using one CIOS
 // pass: each outer round multiplies by one limb of x and folds in one
 // Montgomery reduction step, so the intermediate never exceeds five limbs.

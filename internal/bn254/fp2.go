@@ -76,15 +76,54 @@ func (z *Fp2) Conjugate(x *Fp2) *Fp2 {
 	return z
 }
 
-// Mul sets z = x·y using (a+bi)(c+di) = (ac-bd) + (ad+bc)i.
+// Mul sets z = x·y by Karatsuba: with t1 = ac and t2 = bd,
+// (a+bi)(c+di) = (t1-t2) + ((a+b)(c+d)-t1-t2)i — three base-field
+// multiplications instead of four.
 func (z *Fp2) Mul(x, y *Fp2) *Fp2 {
-	var ac, bd, ad, bc fp.Element
-	ac.Mul(&x.C0, &y.C0)
-	bd.Mul(&x.C1, &y.C1)
-	ad.Mul(&x.C0, &y.C1)
-	bc.Mul(&x.C1, &y.C0)
-	z.C0.Sub(&ac, &bd)
-	z.C1.Add(&ad, &bc)
+	var t1, t2, s1, s2 fp.Element
+	t1.Mul(&x.C0, &y.C0)
+	t2.Mul(&x.C1, &y.C1)
+	s1.Add(&x.C0, &x.C1)
+	s2.Add(&y.C0, &y.C1)
+	s1.Mul(&s1, &s2)
+	s1.Sub(&s1, &t1)
+	s1.Sub(&s1, &t2)
+	z.C0.Sub(&t1, &t2)
+	z.C1 = s1
+	return z
+}
+
+// MulByXi sets z = xi·x for the sextic non-residue xi = 9 + i:
+// (a+bi)(9+i) = (9a-b) + (a+9b)i, computed with shifts and additions
+// instead of multiplications.
+func (z *Fp2) MulByXi(x *Fp2) *Fp2 {
+	var a9, b9, c0 fp.Element
+	a9.Double(&x.C0)
+	a9.Double(&a9)
+	a9.Double(&a9)
+	a9.Add(&a9, &x.C0) // 9a
+	b9.Double(&x.C1)
+	b9.Double(&b9)
+	b9.Double(&b9)
+	b9.Add(&b9, &x.C1) // 9b
+	c0.Sub(&a9, &x.C1)
+	b9.Add(&b9, &x.C0)
+	z.C0 = c0
+	z.C1 = b9
+	return z
+}
+
+// Halve sets z = x/2.
+func (z *Fp2) Halve(x *Fp2) *Fp2 {
+	z.C0.Halve(&x.C0)
+	z.C1.Halve(&x.C1)
+	return z
+}
+
+// Double sets z = 2x.
+func (z *Fp2) Double(x *Fp2) *Fp2 {
+	z.C0.Double(&x.C0)
+	z.C1.Double(&x.C1)
 	return z
 }
 

@@ -125,19 +125,21 @@ func (z *G1) Double(a *G1) *G1 {
 	return z
 }
 
-// ScalarMult sets z = k·a via the Jacobian ladder. Negative k multiplies
-// by -a.
+// ScalarMult sets z = k·a via GLV decomposition and a joint wNAF ladder
+// (see glv.go). Negative k multiplies by -a.
 //
 // With Montgomery-form arithmetic a field inversion costs hundreds of
 // multiplications, so the affine ladder that was competitive on math/big
 // (one inversion per step ≈ one generic reduction) is no longer; the
-// Jacobian path defers to a single inversion at the end. The affine ladder
-// survives as g1ScalarMultAffine, cross-checked by TestJacobianMatchesAffine
-// (see DESIGN.md §5).
+// Jacobian path defers to a single inversion at the end, and the GLV split
+// halves its doubling count again. The plain Jacobian ladder survives as
+// the differential oracle (g1ScalarMultJac, TestG1GLVMatchesJacobian), the
+// affine one as g1ScalarMultAffine (TestJacobianMatchesAffine); see
+// DESIGN.md §5–6.
 func (z *G1) ScalarMult(a *G1, k *big.Int) *G1 {
 	opCounters.g1Mults.Add(1)
 	e := new(big.Int).Mod(k, Order)
-	return z.Set(g1ScalarMultJac(a, e))
+	return z.Set(g1ScalarMultGLV(a, e))
 }
 
 // g1ScalarMultAffine is the affine double-and-add reference ladder,
@@ -153,8 +155,24 @@ func g1ScalarMultAffine(a *G1, k *big.Int) *G1 {
 	return acc
 }
 
-// ScalarBaseMult sets z = k·G where G is the canonical generator.
-func (z *G1) ScalarBaseMult(k *big.Int) *G1 { return z.ScalarMult(G1Generator(), k) }
+// ScalarBaseMult sets z = k·G where G is the canonical generator, using the
+// precomputed fixed-base window table (table.go): ~32 mixed additions, no
+// doublings, one inversion.
+func (z *G1) ScalarBaseMult(k *big.Int) *G1 {
+	opCounters.g1Mults.Add(1)
+	e := new(big.Int).Mod(k, Order)
+	return z.Set(g1ScalarBaseMultAdd(e, nil))
+}
+
+// ScalarBaseMultAdd sets z = k·G + q, folding the extra addition into the
+// fixed-base accumulation so the sum costs no additional normalization.
+// Verify uses this to compute (V·h⁻¹)·P - R in one pass. q may be the
+// identity.
+func (z *G1) ScalarBaseMultAdd(k *big.Int, q *G1) *G1 {
+	opCounters.g1Mults.Add(1)
+	e := new(big.Int).Mod(k, Order)
+	return z.Set(g1ScalarBaseMultAdd(e, q))
+}
 
 // g1MarshalledSize is the byte length of a marshalled G1 point.
 const g1MarshalledSize = 64

@@ -133,11 +133,12 @@ func (z *G2) Double(a *G2) *G2 {
 // scalarMultFull computes k·a for an arbitrary-width non-negative k, without
 // reducing modulo the group order. It is used for cofactor clearing and
 // subgroup checks, where k may legitimately exceed r. The heavy lifting is
-// Jacobian (jacobian.go); the affine ladder g2ScalarMultAffine remains as
-// the cross-checked reference.
+// a width-5 wNAF ladder (glv.go); the plain Jacobian ladder
+// (g2ScalarMultJac) and the affine ladder g2ScalarMultAffine remain as the
+// cross-checked references.
 func (z *G2) scalarMultFull(a *G2, k *big.Int) *G2 {
 	opCounters.g2Mults.Add(1)
-	return z.Set(g2ScalarMultJac(a, k))
+	return z.Set(g2ScalarMultWNAF(a, k))
 }
 
 // g2ScalarMultAffine is the affine double-and-add reference ladder,

@@ -1,0 +1,343 @@
+package bn254
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// Differential tests for the fast scalar-multiplication and pairing kernels
+// against the slow paths they replaced: GLV+wNAF vs the plain Jacobian
+// ladder, the fixed-base table vs the generic ladder, the projective sparse
+// Miller loop vs the affine dense one, and the cyclotomic exponentiation vs
+// generic square-and-multiply.
+
+func randG1(t *testing.T, k *big.Int) *G1 {
+	t.Helper()
+	return g1ScalarMultJac(G1Generator(), new(big.Int).Mod(k, Order))
+}
+
+// TestGLVSplitBounds checks that the Babai decomposition really produces
+// half-length sub-scalars (|k1|, |k2| < 2^130 — the theoretical bound is
+// ~√r ≈ 2^127 plus the lattice covering radius) and that it is a
+// decomposition at all: k1 + k2·λ ≡ k (mod r).
+func TestGLVSplitBounds(t *testing.T) {
+	bound := new(big.Int).Lsh(big.NewInt(1), 130)
+	r := testRand()
+	cases := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		new(big.Int).Sub(Order, big.NewInt(1)),
+		new(big.Int).Set(glvLambda),
+	}
+	for i := 0; i < 200; i++ {
+		cases = append(cases, randScalar(r))
+	}
+	for _, k := range cases {
+		k1, k2 := glvSplit(k)
+		if new(big.Int).Abs(k1).Cmp(bound) >= 0 || new(big.Int).Abs(k2).Cmp(bound) >= 0 {
+			t.Fatalf("sub-scalar exceeds 2^130 for k=%v: k1=%v k2=%v", k, k1, k2)
+		}
+		recomposed := new(big.Int).Mul(k2, glvLambda)
+		recomposed.Add(recomposed, k1)
+		recomposed.Mod(recomposed, Order)
+		if recomposed.Cmp(new(big.Int).Mod(k, Order)) != 0 {
+			t.Fatalf("k1 + k2·λ ≢ k for k=%v", k)
+		}
+	}
+}
+
+// TestG1GLVMatchesJacobian drives the GLV ladder against the plain Jacobian
+// ladder on random points and scalars.
+func TestG1GLVMatchesJacobian(t *testing.T) {
+	f := func(pSeed, kSeed int64) bool {
+		p := randG1(t, big.NewInt(pSeed))
+		k := new(big.Int).Mod(new(big.Int).Mul(big.NewInt(kSeed), new(big.Int).Lsh(big.NewInt(kSeed), 120)), Order)
+		return g1ScalarMultGLV(p, k).Equal(g1ScalarMultJac(p, k))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 24}); err != nil {
+		t.Fatal(err)
+	}
+	// Full-width random scalars and edge scalars on a random point.
+	r := testRand()
+	p := randG1(t, randScalar(r))
+	edges := []*big.Int{
+		big.NewInt(0), big.NewInt(1), big.NewInt(2),
+		new(big.Int).Sub(Order, big.NewInt(1)),
+		new(big.Int).Set(glvLambda),
+		new(big.Int).Sub(Order, glvLambda),
+	}
+	for i := 0; i < 16; i++ {
+		edges = append(edges, randScalar(r))
+	}
+	for _, k := range edges {
+		if !g1ScalarMultGLV(p, k).Equal(g1ScalarMultJac(p, k)) {
+			t.Fatalf("GLV diverges from Jacobian ladder at k=%v", k)
+		}
+	}
+	if !g1ScalarMultGLV(G1Infinity(), big.NewInt(7)).IsInfinity() {
+		t.Fatal("GLV of infinity is not infinity")
+	}
+}
+
+// TestG1FixedBaseMatchesJacobian drives the fixed-base table path against
+// the generic ladder on the generator.
+func TestG1FixedBaseMatchesJacobian(t *testing.T) {
+	r := testRand()
+	g := G1Generator()
+	ks := []*big.Int{
+		big.NewInt(0), big.NewInt(1), big.NewInt(2), big.NewInt(255), big.NewInt(256),
+		new(big.Int).Sub(Order, big.NewInt(1)),
+	}
+	for i := 0; i < 24; i++ {
+		ks = append(ks, randScalar(r))
+	}
+	for _, k := range ks {
+		if !g1ScalarBaseMultAdd(k, nil).Equal(g1ScalarMultJac(g, k)) {
+			t.Fatalf("fixed-base table diverges from ladder at k=%v", k)
+		}
+	}
+}
+
+// TestScalarBaseMultAdd checks the fused k·G + q path, including the
+// cancellation case k·G + (-k·G) = O and a nil/identity extra.
+func TestScalarBaseMultAdd(t *testing.T) {
+	r := testRand()
+	for i := 0; i < 8; i++ {
+		k := randScalar(r)
+		q := randG1(t, randScalar(r))
+		want := new(G1).Add(g1ScalarMultJac(G1Generator(), k), q)
+		if !new(G1).ScalarBaseMultAdd(k, q).Equal(want) {
+			t.Fatalf("ScalarBaseMultAdd diverges at iteration %d", i)
+		}
+	}
+	k := randScalar(r)
+	neg := new(G1).Neg(g1ScalarMultJac(G1Generator(), k))
+	if !new(G1).ScalarBaseMultAdd(k, neg).IsInfinity() {
+		t.Fatal("k·G - k·G should be the identity")
+	}
+	if !new(G1).ScalarBaseMultAdd(big.NewInt(0), G1Infinity()).IsInfinity() {
+		t.Fatal("0·G + O should be the identity")
+	}
+	if !new(G1).ScalarBaseMultAdd(k, G1Infinity()).Equal(new(G1).ScalarBaseMult(k)) {
+		t.Fatal("identity extra should be a no-op")
+	}
+}
+
+// TestG2WNAFMatchesJacobian drives the width-5 wNAF G2 ladder against the
+// plain Jacobian ladder, including unreduced cofactor-sized scalars as used
+// by HashToG2 and the subgroup check.
+func TestG2WNAFMatchesJacobian(t *testing.T) {
+	r := testRand()
+	q := new(G2).ScalarBaseMult(randScalar(r))
+	ks := []*big.Int{
+		big.NewInt(0), big.NewInt(1), big.NewInt(2),
+		new(big.Int).Sub(Order, big.NewInt(1)),
+		new(big.Int).Set(g2Cofactor), // wider than r: exercises the unreduced path
+		new(big.Int).Mul(Order, big.NewInt(3)),
+	}
+	for i := 0; i < 12; i++ {
+		ks = append(ks, randScalar(r))
+	}
+	for _, k := range ks {
+		if !g2ScalarMultWNAF(q, k).Equal(g2ScalarMultJac(q, k)) {
+			t.Fatalf("G2 wNAF diverges from Jacobian ladder at k=%v", k)
+		}
+	}
+	if !g2ScalarMultWNAF(G2Infinity(), big.NewInt(5)).IsInfinity() {
+		t.Fatal("wNAF of infinity is not infinity")
+	}
+}
+
+// TestWnafDigitsRecompose checks the recoding invariants directly: digits
+// recompose to the scalar, every nonzero digit is odd and |d| ≤ 15.
+func TestWnafDigitsRecompose(t *testing.T) {
+	r := testRand()
+	for i := 0; i < 50; i++ {
+		k := randScalar(r)
+		digits := wnafDigits(k, wnafWindow)
+		acc := new(big.Int)
+		for j := len(digits) - 1; j >= 0; j-- {
+			acc.Lsh(acc, 1)
+			acc.Add(acc, big.NewInt(int64(digits[j])))
+			if d := digits[j]; d != 0 && (d%2 == 0 || d > 15 || d < -15) {
+				t.Fatalf("invalid wNAF digit %d", d)
+			}
+		}
+		if acc.Cmp(k) != 0 {
+			t.Fatalf("wNAF digits do not recompose: got %v want %v", acc, k)
+		}
+		naf := nafDigits(k)
+		acc.SetInt64(0)
+		for j := len(naf) - 1; j >= 0; j-- {
+			acc.Lsh(acc, 1)
+			acc.Add(acc, big.NewInt(int64(naf[j])))
+			if j > 0 && naf[j] != 0 && naf[j-1] != 0 {
+				t.Fatal("adjacent nonzero NAF digits")
+			}
+		}
+		if acc.Cmp(k) != 0 {
+			t.Fatalf("NAF digits do not recompose: got %v want %v", acc, k)
+		}
+	}
+}
+
+// TestCyclotomicSquareMatchesGeneric checks the Granger–Scott squaring
+// against the generic Fp12 squaring on cyclotomic-subgroup elements (where
+// it is only valid) produced by the easy part of the final exponentiation.
+func TestCyclotomicSquareMatchesGeneric(t *testing.T) {
+	r := testRand()
+	for i := 0; i < 6; i++ {
+		p := new(G1).ScalarBaseMult(randScalar(r))
+		q := new(G2).ScalarBaseMult(randScalar(r))
+		u := easyPart(millerLoop(p, q))
+		fast := new(Fp12).CyclotomicSquare(u)
+		generic := new(Fp12).Square(u)
+		if !fast.Equal(generic) {
+			t.Fatalf("cyclotomic squaring diverges on unitary element (iteration %d)", i)
+		}
+	}
+}
+
+// TestExpCyclotomicMatchesExp checks the NAF/conjugate exponentiation ladder
+// against plain square-and-multiply on cyclotomic elements.
+func TestExpCyclotomicMatchesExp(t *testing.T) {
+	r := testRand()
+	p := new(G1).ScalarBaseMult(randScalar(r))
+	q := new(G2).ScalarBaseMult(randScalar(r))
+	base := easyPart(millerLoop(p, q))
+	exps := []*big.Int{big.NewInt(0), big.NewInt(1), new(big.Int).Set(u), randScalar(r)}
+	for _, e := range exps {
+		fast := new(Fp12).ExpCyclotomic(base, e)
+		naive := new(Fp12).Exp(base, e)
+		if !fast.Equal(naive) {
+			t.Fatalf("cyclotomic exponentiation diverges at e=%v", e)
+		}
+	}
+}
+
+// TestMillerLoopSparseMatchesNaive compares the projective sparse Miller
+// loop with the affine dense oracle. The two unreduced values differ by an
+// Fp2 factor (the projective line drops denominators), and any Fp2 factor
+// is killed by the easy part of the final exponentiation — so equality is
+// asserted on the reduced pairing values.
+func TestMillerLoopSparseMatchesNaive(t *testing.T) {
+	r := testRand()
+	for i := 0; i < 4; i++ {
+		p := new(G1).ScalarBaseMult(randScalar(r))
+		q := new(G2).ScalarBaseMult(randScalar(r))
+		fast := finalExponentiation(millerLoop(p, q))
+		naive := finalExponentiation(millerLoopNaive(p, q))
+		if !fast.Equal(naive) {
+			t.Fatalf("projective sparse Miller loop diverges from affine oracle (iteration %d)", i)
+		}
+	}
+}
+
+// TestMulByLineMatchesDense checks the hand-scheduled sparse multiplication
+// against a dense multiply by the expanded line.
+func TestMulByLineMatchesDense(t *testing.T) {
+	r := testRand()
+	for i := 0; i < 8; i++ {
+		z := &Fp12{}
+		for k := range z.C {
+			z.C[k] = *randFp2(r)
+		}
+		l := lineEval{c0: *randFp2(r), c1: *randFp2(r), c3: *randFp2(r)}
+		dense := new(Fp12).Mul(z, l.fp12())
+		sparse := new(Fp12).Set(z).mulByLine(&l)
+		if !sparse.Equal(dense) {
+			t.Fatalf("sparse line multiplication diverges (iteration %d)", i)
+		}
+	}
+}
+
+// TestMillerLoopOpCounts pins the line-operation profile of one Miller loop
+// to the ate-loop structure: 6u+2 has bit length 65, so 64 doubling steps;
+// addition steps are one per set bit below the MSB plus the two Frobenius
+// correction lines; sparse multiplications one per line. A refactor that
+// silently falls back to dense or generic arithmetic changes these counts
+// and fails here.
+func TestMillerLoopOpCounts(t *testing.T) {
+	r := testRand()
+	p := new(G1).ScalarBaseMult(randScalar(r))
+	q := new(G2).ScalarBaseMult(randScalar(r))
+
+	wantDoubles := uint64(ateLoopCount.BitLen() - 1)
+	popcount := 0
+	for i := 0; i < ateLoopCount.BitLen()-1; i++ {
+		if ateLoopCount.Bit(i) == 1 {
+			popcount++
+		}
+	}
+	wantAdds := uint64(popcount) + 2
+	if wantDoubles != 64 {
+		t.Fatalf("ate loop length changed: %d doubling steps", wantDoubles)
+	}
+
+	before := ReadOpCounts()
+	millerLoop(p, q)
+	d := ReadOpCounts().Sub(before)
+	if d.LineDoubles != wantDoubles {
+		t.Fatalf("Miller loop ran %d doubling steps, want %d", d.LineDoubles, wantDoubles)
+	}
+	if d.LineAdds != wantAdds {
+		t.Fatalf("Miller loop ran %d addition steps, want %d", d.LineAdds, wantAdds)
+	}
+	if want := wantDoubles + wantAdds; d.SparseMuls != want {
+		t.Fatalf("Miller loop ran %d sparse multiplications, want %d", d.SparseMuls, want)
+	}
+
+	// The final exponentiation must run its squarings cyclotomically: three
+	// exponentiations by u (62 NAF squarings each at most) plus the chain's
+	// four explicit squarings — and, in particular, more than zero.
+	before = ReadOpCounts()
+	finalExponentiation(millerLoop(p, q))
+	d = ReadOpCounts().Sub(before)
+	if d.CycSquares < 100 {
+		t.Fatalf("final exponentiation used only %d cyclotomic squarings — fell back to generic?", d.CycSquares)
+	}
+}
+
+// FuzzG1ScalarMultVsNaive drives the full G1 fast path (GLV + wNAF + batch
+// normalization) against the affine double-and-add oracle on fuzzed scalars.
+func FuzzG1ScalarMultVsNaive(f *testing.F) {
+	f.Add([]byte{0}, []byte{1})
+	f.Add([]byte{1}, []byte{255, 255, 255, 255})
+	ordm1 := new(big.Int).Sub(Order, big.NewInt(1))
+	f.Add(ordm1.Bytes(), ordm1.Bytes())
+	f.Fuzz(func(t *testing.T, pBytes, kBytes []byte) {
+		pScalar := new(big.Int).Mod(new(big.Int).SetBytes(pBytes), Order)
+		k := new(big.Int).Mod(new(big.Int).SetBytes(kBytes), Order)
+		p := g1ScalarMultJac(G1Generator(), pScalar)
+		want := g1ScalarMultAffine(p, k)
+		if got := new(G1).ScalarMult(p, k); !got.Equal(want) {
+			t.Fatalf("G1 fast path diverges: point seed %v scalar %v", pScalar, k)
+		}
+		if pScalar.Sign() != 0 {
+			// p here is k·G for known k, so the fixed-base path must agree.
+			if got := new(G1).ScalarBaseMult(pScalar); !got.Equal(p) {
+				t.Fatalf("fixed-base path diverges at k=%v", pScalar)
+			}
+		}
+	})
+}
+
+// FuzzG2ScalarMultVsNaive drives the G2 wNAF ladder against the affine
+// oracle, including scalars wider than the group order.
+func FuzzG2ScalarMultVsNaive(f *testing.F) {
+	f.Add([]byte{0}, []byte{1})
+	f.Add([]byte{2}, new(big.Int).Mul(Order, big.NewInt(2)).Bytes())
+	f.Fuzz(func(t *testing.T, qBytes, kBytes []byte) {
+		qScalar := new(big.Int).Mod(new(big.Int).SetBytes(qBytes), Order)
+		k := new(big.Int).SetBytes(kBytes)
+		if k.BitLen() > 512 {
+			k.Rsh(k, uint(k.BitLen()-512)) // keep the naive oracle fast
+		}
+		q := g2ScalarMultJac(G2Generator(), qScalar)
+		want := g2ScalarMultAffine(q, k)
+		if got := g2ScalarMultWNAF(q, k); !got.Equal(want) {
+			t.Fatalf("G2 wNAF diverges: point seed %v scalar %v", qScalar, k)
+		}
+	})
+}

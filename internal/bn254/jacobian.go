@@ -136,6 +136,71 @@ func (j *g1Jac) addMixed(q *G1) {
 	j.x, j.y, j.z = x3, y3, z3
 }
 
+// g1BatchAffine normalizes a slice of Jacobian points to affine with a
+// single field inversion (Montgomery's batch-inversion trick): one forward
+// pass accumulates prefix products of the Z coordinates, one inversion, and
+// one backward pass peels off per-point inverses. Points at infinity are
+// passed through untouched.
+func g1BatchAffine(js []g1Jac) []G1 {
+	out := make([]G1, len(js))
+	prefix := make([]fp.Element, len(js))
+	var acc fp.Element
+	acc.SetOne()
+	for i := range js {
+		if js[i].isInfinity() {
+			continue
+		}
+		prefix[i] = acc
+		acc.Mul(&acc, &js[i].z)
+	}
+	var inv fp.Element
+	fpMustInverse(&inv, &acc)
+	for i := len(js) - 1; i >= 0; i-- {
+		if js[i].isInfinity() {
+			out[i].Inf = true
+			continue
+		}
+		var zInv, zInv2, zInv3 fp.Element
+		zInv.Mul(&inv, &prefix[i])
+		inv.Mul(&inv, &js[i].z)
+		zInv2.Square(&zInv)
+		zInv3.Mul(&zInv2, &zInv)
+		out[i].X.Mul(&js[i].x, &zInv2)
+		out[i].Y.Mul(&js[i].y, &zInv3)
+	}
+	return out
+}
+
+// g2BatchAffine is the Fp2 counterpart of g1BatchAffine.
+func g2BatchAffine(js []g2Jac) []G2 {
+	out := make([]G2, len(js))
+	prefix := make([]Fp2, len(js))
+	acc := *Fp2One()
+	for i := range js {
+		if js[i].isInfinity() {
+			continue
+		}
+		prefix[i] = acc
+		acc.Mul(&acc, &js[i].z)
+	}
+	var inv Fp2
+	inv.Inverse(&acc)
+	for i := len(js) - 1; i >= 0; i-- {
+		if js[i].isInfinity() {
+			out[i].Inf = true
+			continue
+		}
+		var zInv, zInv2, zInv3 Fp2
+		zInv.Mul(&inv, &prefix[i])
+		inv.Mul(&inv, &js[i].z)
+		zInv2.Square(&zInv)
+		zInv3.Mul(&zInv2, &zInv)
+		out[i].X.Mul(&js[i].x, &zInv2)
+		out[i].Y.Mul(&js[i].y, &zInv3)
+	}
+	return out
+}
+
 // g1ScalarMultJac computes k·a (k already reduced and non-negative).
 func g1ScalarMultJac(a *G1, k *big.Int) *G1 {
 	if a.Inf || k.Sign() == 0 {

@@ -15,14 +15,30 @@ type OpCounts struct {
 	G1ScalarMults uint64
 	G2ScalarMults uint64
 	GTExps        uint64
+
+	// Kernel-level counters for the fast pairing path. LineDoubles and
+	// LineAdds count projective Miller-loop steps, SparseMuls the sparse
+	// line-times-Fp12 accumulations, CycSquares the Granger–Scott
+	// cyclotomic squarings in the final exponentiation and GT ladders.
+	// Regression tests pin these against the ate-loop structure so that a
+	// refactor silently falling back to dense or generic arithmetic fails
+	// loudly instead of just slowing down.
+	LineDoubles uint64
+	LineAdds    uint64
+	SparseMuls  uint64
+	CycSquares  uint64
 }
 
 var opCounters struct {
-	pairings  atomic.Uint64
-	finalExps atomic.Uint64
-	g1Mults   atomic.Uint64
-	g2Mults   atomic.Uint64
-	gtExps    atomic.Uint64
+	pairings    atomic.Uint64
+	finalExps   atomic.Uint64
+	g1Mults     atomic.Uint64
+	g2Mults     atomic.Uint64
+	gtExps      atomic.Uint64
+	lineDoubles atomic.Uint64
+	lineAdds    atomic.Uint64
+	sparseMuls  atomic.Uint64
+	cycSquares  atomic.Uint64
 }
 
 // ReadOpCounts returns the current counter values.
@@ -33,6 +49,10 @@ func ReadOpCounts() OpCounts {
 		G1ScalarMults: opCounters.g1Mults.Load(),
 		G2ScalarMults: opCounters.g2Mults.Load(),
 		GTExps:        opCounters.gtExps.Load(),
+		LineDoubles:   opCounters.lineDoubles.Load(),
+		LineAdds:      opCounters.lineAdds.Load(),
+		SparseMuls:    opCounters.sparseMuls.Load(),
+		CycSquares:    opCounters.cycSquares.Load(),
 	}
 }
 
@@ -45,5 +65,9 @@ func (c OpCounts) Sub(earlier OpCounts) OpCounts {
 		G1ScalarMults: c.G1ScalarMults - earlier.G1ScalarMults,
 		G2ScalarMults: c.G2ScalarMults - earlier.G2ScalarMults,
 		GTExps:        c.GTExps - earlier.GTExps,
+		LineDoubles:   c.LineDoubles - earlier.LineDoubles,
+		LineAdds:      c.LineAdds - earlier.LineAdds,
+		SparseMuls:    c.SparseMuls - earlier.SparseMuls,
+		CycSquares:    c.CycSquares - earlier.CycSquares,
 	}
 }

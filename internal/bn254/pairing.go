@@ -2,8 +2,6 @@ package bn254
 
 import (
 	"math/big"
-
-	"mccls/internal/bn254/fp"
 )
 
 // GT is an element of the order-r target group (the cyclotomic subgroup of
@@ -40,11 +38,12 @@ func (z *GT) Inverse(a *GT) *GT {
 	return z
 }
 
-// Exp sets z = a^k. Negative k inverts first.
+// Exp sets z = a^k. Negative k inverts first. GT elements are unitary, so
+// the ladder runs on cyclotomic squarings with NAF recoding.
 func (z *GT) Exp(a *GT, k *big.Int) *GT {
 	opCounters.gtExps.Add(1)
 	e := new(big.Int).Mod(k, Order)
-	z.v = new(Fp12).Exp(a.v, e)
+	z.v = new(Fp12).ExpCyclotomic(a.v, e)
 	return z
 }
 
@@ -59,27 +58,159 @@ func (z *GT) Marshal() []byte {
 	return out
 }
 
-// lineEval is the sparse Fp12 element a + b·w + c·w³ produced by evaluating
-// a Miller line at a G1 point; a ∈ Fp, b, c ∈ Fp2.
+// lineEval is the sparse Fp12 element c0 + c1·w + c3·w³ produced by
+// evaluating a Miller line at a G1 point. In the affine (naive) path c0 has
+// a zero i-component; the projective path scales the line by an Fp2 factor
+// (killed by the final exponentiation), filling all three coefficients.
 type lineEval struct {
-	a fp.Element
-	b Fp2
-	c Fp2
+	c0 Fp2
+	c1 Fp2
+	c3 Fp2
 }
 
-// fp12 expands the sparse line into a full Fp12 element. Fp12.Mul skips
-// zero coefficients, so multiplying by the expansion already exploits the
-// sparsity.
+// fp12 expands the sparse line into a full Fp12 element (reference path).
 func (l *lineEval) fp12() *Fp12 {
 	z := &Fp12{}
-	z.C[0].C0 = l.a
-	z.C[1] = l.b
-	z.C[3] = l.c
+	z.C[0] = l.c0
+	z.C[1] = l.c1
+	z.C[3] = l.c3
 	return z
 }
 
+// mulByLine sets z = z·(c0 + c1·w + c3·w³) with the sparsity hard-coded:
+// 18 Fp2 products instead of a generic convolution plus zero tests, and no
+// intermediate Fp12 allocation. The dense equivalent mul-by-l.fp12() is the
+// oracle in the differential tests.
+func (z *Fp12) mulByLine(l *lineEval) *Fp12 {
+	opCounters.sparseMuls.Add(1)
+	var res Fp12
+	var t, u Fp2
+	for k := 0; k < 6; k++ {
+		res.C[k].Mul(&z.C[k], &l.c0)
+		// c1·w: wraps past w^5 pick up xi.
+		if k == 0 {
+			t.Mul(&z.C[5], &l.c1)
+			t.MulByXi(&t)
+		} else {
+			t.Mul(&z.C[k-1], &l.c1)
+		}
+		res.C[k].Add(&res.C[k], &t)
+		// c3·w³.
+		if k < 3 {
+			u.Mul(&z.C[k+3], &l.c3)
+			u.MulByXi(&u)
+		} else {
+			u.Mul(&z.C[k-3], &l.c3)
+		}
+		res.C[k].Add(&res.C[k], &u)
+	}
+	return z.Set(&res)
+}
+
+// g2Proj is the Miller-loop accumulator in homogeneous projective
+// coordinates (X : Y : Z), affine (X/Z, Y/Z). Unlike the affine
+// doubleStep/addStep oracle this needs no per-step Fp2 inversion — with
+// Montgomery arithmetic each of those cost a ~380-multiplication Fermat
+// ladder, which dominated the whole Miller loop.
+type g2Proj struct {
+	x, y, z Fp2
+}
+
+func (p *g2Proj) fromAffine(q *G2) {
+	p.x = q.X
+	p.y = q.Y
+	p.z = *Fp2One()
+}
+
+// twistB3 is 3·b', cached for the doubling step.
+var twistB3 = new(Fp2).Add(twistB, new(Fp2).Add(twistB, twistB))
+
+// doubleStepProj doubles p in place and evaluates the tangent line at the
+// G1 point (xP, yP). Formulas follow Costello–Lange–Naehrig (eprint
+// 2010/526) for y² = x³ + b': with A = XY/2, B = Y², C = Z², E = 3b'C,
+// F = 3E, G = (B+F)/2, H = (Y+Z)² - B - C:
+//
+//	X₃ = A(B-F), Y₃ = G² - 3E², Z₃ = BH
+//
+// and the line (up to the Fp2 factor Z, which the final exponentiation
+// kills) is -H·yP + 3X²·xP·w + (E-B)·w³.
+func (p *g2Proj) doubleStepProj(l *lineEval, pt *G1) {
+	opCounters.lineDoubles.Add(1)
+	var a, b, c, e, f, g, h, i, j, ee, t Fp2
+	a.Mul(&p.x, &p.y)
+	a.Halve(&a)
+	b.Square(&p.y)
+	c.Square(&p.z)
+	e.Mul(&c, twistB3)
+	f.Add(&e, &e)
+	f.Add(&f, &e)
+	g.Add(&b, &f)
+	g.Halve(&g)
+	h.Add(&p.y, &p.z)
+	h.Square(&h)
+	t.Add(&b, &c)
+	h.Sub(&h, &t)
+	i.Sub(&e, &b)
+	j.Square(&p.x)
+	ee.Square(&e)
+
+	t.Sub(&b, &f)
+	p.x.Mul(&a, &t)
+	t.Square(&g)
+	a.Add(&ee, &ee)
+	a.Add(&a, &ee)
+	p.y.Sub(&t, &a)
+	p.z.Mul(&b, &h)
+
+	l.c0.MulScalar(&h, &pt.Y)
+	l.c0.Neg(&l.c0)
+	t.Add(&j, &j)
+	t.Add(&t, &j)
+	l.c1.MulScalar(&t, &pt.X)
+	l.c3 = i
+}
+
+// addStepProj adds the affine point q to p in place and evaluates the chord
+// line through them at the G1 point. With O = Y - yQ·Z, L = X - xQ·Z,
+// t1 = L², t2 = L·t1, t3 = t1·X, W = O²·Z + t2 - 2t3:
+//
+//	X₃ = L·W, Y₃ = O·(t3 - W) - t2·Y, Z₃ = t2·Z
+//
+// and the line (up to the factor L) is -L·yP + O·xP·w + (L·yQ - O·xQ)·w³.
+func (p *g2Proj) addStepProj(l *lineEval, q *G2, pt *G1) {
+	opCounters.lineAdds.Add(1)
+	var o, lam, t1, t2, t3, t4, w, t Fp2
+	t.Mul(&q.Y, &p.z)
+	o.Sub(&p.y, &t)
+	t.Mul(&q.X, &p.z)
+	lam.Sub(&p.x, &t)
+
+	t1.Square(&lam)
+	t2.Mul(&lam, &t1)
+	t3.Mul(&t1, &p.x)
+	t4.Square(&o)
+	t4.Mul(&t4, &p.z)
+	w.Add(&t4, &t2)
+	t.Add(&t3, &t3)
+	w.Sub(&w, &t)
+
+	p.x.Mul(&lam, &w)
+	t.Sub(&t3, &w)
+	t.Mul(&t, &o)
+	t4.Mul(&t2, &p.y)
+	p.y.Sub(&t, &t4)
+	p.z.Mul(&p.z, &t2)
+
+	l.c0.MulScalar(&lam, &pt.Y)
+	l.c0.Neg(&l.c0)
+	l.c1.MulScalar(&o, &pt.X)
+	t.Mul(&lam, &q.Y)
+	t4.Mul(&o, &q.X)
+	l.c3.Sub(&t, &t4)
+}
+
 // doubleStep doubles t in place and returns the tangent line at t evaluated
-// at p (both the line and the doubled point).
+// at p (affine reference path, one Fp2 inversion per step).
 func doubleStep(t *G2, p *G1) *lineEval {
 	// lambda' = 3x²/(2y) on the twist.
 	var lambda, s, den Fp2
@@ -127,17 +258,48 @@ func addStep(t *G2, q *G2, p *G1) *lineEval {
 // line value is (-y_p) + (lambda·x_p)·w + (y_t - lambda·x_t)·w³.
 func lineAt(t *G2, lambda *Fp2, p *G1) *lineEval {
 	l := &lineEval{}
-	l.b.MulScalar(lambda, &p.X)
-	l.c.Mul(lambda, &t.X)
-	l.c.Sub(&t.Y, &l.c)
-	l.a.Neg(&p.Y)
+	l.c1.MulScalar(lambda, &p.X)
+	l.c3.Mul(lambda, &t.X)
+	l.c3.Sub(&t.Y, &l.c3)
+	l.c0.C0.Neg(&p.Y)
+	l.c0.C1.SetZero()
 	return l
 }
 
 // millerLoop computes f_{6u+2,Q}(P) · l_{T,π(Q)}(P) · l_{T+π(Q),-π²(Q)}(P),
-// the unreduced optimal-ate pairing value.
+// the unreduced optimal-ate pairing value, with a projective accumulator
+// and sparse line accumulation. The result differs from millerLoopNaive by
+// an Fp2 factor, which the final exponentiation removes; the differential
+// tests compare the two paths after reduction.
 func millerLoop(p *G1, q *G2) *Fp12 {
 	opCounters.pairings.Add(1)
+	var t g2Proj
+	t.fromAffine(q)
+	f := Fp12One()
+	var l lineEval
+	for i := ateLoopCount.BitLen() - 2; i >= 0; i-- {
+		f.Square(f)
+		t.doubleStepProj(&l, p)
+		f.mulByLine(&l)
+		if ateLoopCount.Bit(i) == 1 {
+			t.addStepProj(&l, q, p)
+			f.mulByLine(&l)
+		}
+	}
+	q1 := new(G2).frobeniusTwist(q)
+	t.addStepProj(&l, q1, p)
+	f.mulByLine(&l)
+	q2 := new(G2).frobeniusTwist(q1)
+	q2.Neg(q2)
+	t.addStepProj(&l, q2, p)
+	f.mulByLine(&l)
+	return f
+}
+
+// millerLoopNaive is the affine reference Miller loop with dense Fp12 line
+// multiplication, retained as the differential oracle for the projective
+// sparse path.
+func millerLoopNaive(p *G1, q *G2) *Fp12 {
 	f := Fp12One()
 	t := new(G2).Set(q)
 	for i := ateLoopCount.BitLen() - 2; i >= 0; i-- {
@@ -173,11 +335,12 @@ func finalExponentiationNaive(f *Fp12) *Fp12 {
 
 // finalExponentiation maps an unreduced Miller value to the order-r
 // cyclotomic subgroup: f^((p^12-1)/r). The hard part uses the
-// Devegili–Scott–Dahab addition chain for BN curves: three
-// exponentiations by the curve parameter u plus Frobenius maps and cheap
-// unitary inversions (conjugations), roughly 4× faster than the naive
-// 762-bit exponentiation. Equivalence with the naive path is asserted by
-// tests.
+// Devegili–Scott–Dahab addition chain for BN curves: three exponentiations
+// by the curve parameter u plus Frobenius maps and cheap unitary inversions
+// (conjugations). Past the easy part every value is unitary, so all
+// squarings — inside the u-exponentiations and in the chain itself — use
+// the Granger–Scott cyclotomic formulas. Equivalence with the naive path is
+// asserted by tests.
 func finalExponentiation(f *Fp12) *Fp12 {
 	opCounters.finalExps.Add(1)
 	r := easyPart(f)
@@ -186,9 +349,9 @@ func finalExponentiation(f *Fp12) *Fp12 {
 	fp2 := new(Fp12).FrobeniusN(r, 2)
 	fp3 := new(Fp12).Frobenius(fp2)
 
-	fu := new(Fp12).Exp(r, u)
-	fu2 := new(Fp12).Exp(fu, u)
-	fu3 := new(Fp12).Exp(fu2, u)
+	fu := new(Fp12).ExpCyclotomic(r, u)
+	fu2 := new(Fp12).ExpCyclotomic(fu, u)
+	fu3 := new(Fp12).ExpCyclotomic(fu2, u)
 
 	y3 := new(Fp12).Frobenius(fu)
 	fu2p := new(Fp12).Frobenius(fu2)
@@ -206,18 +369,18 @@ func finalExponentiation(f *Fp12) *Fp12 {
 	y6 := new(Fp12).Mul(fu3, fu3p)
 	y6.Conjugate(y6)
 
-	t0 := new(Fp12).Square(y6)
+	t0 := new(Fp12).CyclotomicSquare(y6)
 	t0.Mul(t0, y4)
 	t0.Mul(t0, y5)
 	t1 := new(Fp12).Mul(y3, y5)
 	t1.Mul(t1, t0)
 	t0.Mul(t0, y2)
-	t1.Square(t1)
+	t1.CyclotomicSquare(t1)
 	t1.Mul(t1, t0)
-	t1.Square(t1)
+	t1.CyclotomicSquare(t1)
 	t0.Mul(t1, y1)
 	t1.Mul(t1, y0)
-	t0.Square(t0)
+	t0.CyclotomicSquare(t0)
 	t0.Mul(t0, t1)
 	return t0
 }

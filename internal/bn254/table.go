@@ -1,0 +1,89 @@
+package bn254
+
+import (
+	"math/big"
+	"sync"
+)
+
+// Fixed-base scalar multiplication for the G1 generator. The generator is
+// pinned by the protocol (R = (r-x)·P in Sign, (V/h)·P in Verify), so the
+// repeated-doubling half of the ladder can be precomputed once: the table
+// stores d·2^(8j)·G for every byte window j and byte value d, turning a
+// 254-bit ScalarBaseMult into at most 32 mixed additions and zero
+// doublings. The table is ~570 KiB of affine points, built lazily behind a
+// sync.Once (~8k Jacobian additions and one batched inversion, a few
+// milliseconds) and shared process-wide; core.Params.Precompute forces the
+// build at setup so first-request latency stays flat.
+
+// baseTableWindows is the number of byte-sized windows covering a 256-bit
+// reduced scalar.
+const baseTableWindows = 32
+
+// g1BaseTable[j][d-1] = d·2^(8j)·G in affine coordinates.
+var (
+	g1BaseTableOnce sync.Once
+	g1BaseTable     *[baseTableWindows][255]G1
+)
+
+// PrecomputeFixedBase builds the fixed-base generator table now instead of
+// on first use. Safe to call concurrently and more than once.
+func PrecomputeFixedBase() { g1FixedBaseTable() }
+
+func g1FixedBaseTable() *[baseTableWindows][255]G1 {
+	g1BaseTableOnce.Do(buildG1BaseTable)
+	return g1BaseTable
+}
+
+func buildG1BaseTable() {
+	// Window bases 2^(8j)·G, normalized in one batch.
+	baseJacs := make([]g1Jac, baseTableWindows)
+	baseJacs[0].fromAffine(G1Generator())
+	for j := 1; j < baseTableWindows; j++ {
+		baseJacs[j] = baseJacs[j-1]
+		for s := 0; s < 8; s++ {
+			baseJacs[j].double()
+		}
+	}
+	bases := g1BatchAffine(baseJacs)
+
+	// All 32·255 entries accumulate in Jacobian form, then one batched
+	// normalization replaces 8160 inversions with one.
+	entries := make([]g1Jac, baseTableWindows*255)
+	for j := 0; j < baseTableWindows; j++ {
+		var cur g1Jac
+		cur.fromAffine(&bases[j])
+		for d := 1; d <= 255; d++ {
+			entries[j*255+d-1] = cur
+			cur.addMixed(&bases[j])
+		}
+	}
+	affine := g1BatchAffine(entries)
+
+	tab := new([baseTableWindows][255]G1)
+	for j := 0; j < baseTableWindows; j++ {
+		copy(tab[j][:], affine[j*255:(j+1)*255])
+	}
+	g1BaseTable = tab
+}
+
+// g1ScalarBaseMultAdd computes k·G + extra for k ∈ [0, r) using the
+// fixed-base table, folding the optional extra point (Verify's -R) into the
+// same accumulation so the whole expression costs one final normalization.
+// extra may be nil.
+func g1ScalarBaseMultAdd(k *big.Int, extra *G1) *G1 {
+	tab := g1FixedBaseTable()
+	var kb [32]byte
+	k.FillBytes(kb[:])
+	var acc g1Jac
+	acc.setInfinity()
+	for j := 0; j < baseTableWindows; j++ {
+		b := kb[31-j] // window j covers bits 8j..8j+7: big-endian byte 31-j
+		if b != 0 {
+			acc.addMixed(&tab[j][b-1])
+		}
+	}
+	if extra != nil && !extra.Inf {
+		acc.addMixed(extra)
+	}
+	return acc.affine()
+}

@@ -581,3 +581,64 @@ func FuzzUnmarshalPublicKey(f *testing.F) {
 		}
 	})
 }
+
+// scriptedRand serves predetermined 32-byte scalar draws to Sign, tracking
+// how many bytes were consumed. crypto/rand.Int reads exactly 32 bytes per
+// draw for the 254-bit group order.
+type scriptedRand struct {
+	data []byte
+	off  int
+}
+
+func (s *scriptedRand) Read(p []byte) (int, error) {
+	n := copy(p, s.data[s.off:])
+	s.off += n
+	if n == 0 {
+		return 0, errors.New("scripted randomness exhausted")
+	}
+	return n, nil
+}
+
+// TestSignRedrawsWhenROverlapsSecret forces the r == x collision (which
+// would make R the identity and leak x) and checks that Sign redraws
+// instead of emitting a degenerate signature. The redraw path is a loop,
+// so even an adversarial RNG that keeps returning x cannot overflow the
+// stack — it just keeps the loop spinning until the stream moves on.
+func TestSignRedrawsWhenROverlapsSecret(t *testing.T) {
+	kgc, err := Setup(fixedRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const id = "redraw@manet"
+	x := big.NewInt(5)
+	sk, err := NewPrivateKeyFromSecret(kgc.Params(), kgc.ExtractPartialPrivateKey(id), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First draw r = x = 5 (collision), second draw r = 7 (accepted).
+	script := make([]byte, 64)
+	big.NewInt(5).FillBytes(script[:32])
+	big.NewInt(7).FillBytes(script[32:])
+	rng := &scriptedRand{data: script}
+
+	msg := []byte("RREP via redraw")
+	sig, err := Sign(kgc.Params(), sk, msg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rng.off != 64 {
+		t.Fatalf("expected exactly two scalar draws (64 bytes), consumed %d", rng.off)
+	}
+	// With r = 7 and x = 5, R = (r-x)·P = 2·P.
+	want := new(bn254.G1).ScalarBaseMult(big.NewInt(2))
+	if !sig.R.Equal(want) {
+		t.Fatal("redraw produced an unexpected commitment")
+	}
+	if sig.R.IsInfinity() {
+		t.Fatal("identity commitment leaked through the redraw guard")
+	}
+	if err := NewVerifier(kgc.Params()).Verify(sk.Public(), msg, sig); err != nil {
+		t.Fatalf("redrawn signature rejected: %v", err)
+	}
+}

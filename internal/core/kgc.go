@@ -34,10 +34,9 @@ func NewKGCFromMaster(s *big.Int) (*KGC, error) {
 		return nil, fmt.Errorf("%w: master key out of range", ErrInvalidKey)
 	}
 	master := new(big.Int).Set(s)
-	return &KGC{
-		params: &Params{Ppub: new(bn254.G1).ScalarBaseMult(master)},
-		master: master,
-	}, nil
+	params := &Params{Ppub: new(bn254.G1).ScalarBaseMult(master)}
+	params.Precompute()
+	return &KGC{params: params, master: master}, nil
 }
 
 // Params returns the public system parameters.

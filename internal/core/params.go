@@ -53,6 +53,11 @@ type Params struct {
 // Generator returns P, the fixed system generator of G1.
 func (*Params) Generator() *bn254.G1 { return bn254.G1Generator() }
 
+// Precompute builds the fixed-base table for the system generator so the
+// first Sign/Verify call does not pay the one-time table cost. Setup and
+// UnmarshalParams call it; it is idempotent and safe concurrently.
+func (*Params) Precompute() { bn254.PrecomputeFixedBase() }
+
 // QID computes the identity hash Q_ID = H1(ID) ∈ G2.
 func (*Params) QID(id string) *bn254.G2 {
 	return bn254.HashToG2(domainH1, []byte(id))
@@ -94,5 +99,7 @@ func UnmarshalParams(data []byte) (*Params, error) {
 	if ppub.IsInfinity() {
 		return nil, fmt.Errorf("%w: P_pub is the identity", ErrInvalidKey)
 	}
-	return &Params{Ppub: &ppub}, nil
+	p := &Params{Ppub: &ppub}
+	p.Precompute()
+	return p, nil
 }

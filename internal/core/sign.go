@@ -29,14 +29,20 @@ const signatureMarshalledSize = SignatureSize
 // per-message cost is a single G1 scalar multiplication (S is precomputed
 // at key generation). Passing a nil reader uses crypto/rand.
 func Sign(params *Params, sk *PrivateKey, msg []byte, rng io.Reader) (*Signature, error) {
-	r, err := bn254.RandomScalar(rng)
-	if err != nil {
-		return nil, fmt.Errorf("mccls: sign: %w", err)
-	}
-	// R = (r - x)·P. If r == x, R would be the identity and leak x; redraw.
-	k := new(big.Int).Mod(new(big.Int).Sub(r, sk.x), bn254.Order)
-	if k.Sign() == 0 {
-		return Sign(params, sk, msg, rng)
+	// R = (r - x)·P. If r == x, R would be the identity and leak x; redraw
+	// until r ≠ x (a 2⁻²⁵⁴ event per draw, so the loop terminates on the
+	// first iteration for any real RNG).
+	var r, k *big.Int
+	for {
+		var err error
+		r, err = bn254.RandomScalar(rng)
+		if err != nil {
+			return nil, fmt.Errorf("mccls: sign: %w", err)
+		}
+		k = new(big.Int).Mod(new(big.Int).Sub(r, sk.x), bn254.Order)
+		if k.Sign() != 0 {
+			break
+		}
 	}
 	R := new(bn254.G1).ScalarBaseMult(k)
 	h := params.hashH2(msg, R, sk.pub.PID)

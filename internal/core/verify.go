@@ -84,9 +84,8 @@ func (vf *Verifier) Verify(pk *PublicKey, msg []byte, sig *Signature) error {
 	}
 	h := vf.params.hashH2(msg, sig.R, pk.PID)
 	hInv := new(big.Int).ModInverse(h, bn254.Order)
-	// A = (V/h)·P - R
-	a := new(bn254.G1).ScalarBaseMult(new(big.Int).Mul(sig.V, hInv))
-	a.Add(a, new(bn254.G1).Neg(sig.R))
+	// A = (V/h)·P - R, fused into one fixed-base table pass.
+	a := new(bn254.G1).ScalarBaseMultAdd(new(big.Int).Mul(sig.V, hInv), new(bn254.G1).Neg(sig.R))
 	if !bn254.Pair(a, sig.S).Equal(vf.rhs(pk.ID)) {
 		return ErrVerifyFailed
 	}
@@ -138,8 +137,7 @@ func (vf *Verifier) BatchVerify(pk *PublicKey, msgs [][]byte, sigs []*Signature)
 		}
 		h := vf.params.hashH2(msgs[i], sig.R, pk.PID)
 		hInv := new(big.Int).ModInverse(h, bn254.Order)
-		term := new(bn254.G1).ScalarBaseMult(new(big.Int).Mul(sig.V, hInv))
-		term.Add(term, new(bn254.G1).Neg(sig.R))
+		term := new(bn254.G1).ScalarBaseMultAdd(new(big.Int).Mul(sig.V, hInv), new(bn254.G1).Neg(sig.R))
 		acc.Add(acc, term)
 	}
 	want := new(bn254.GT).Exp(vf.rhs(pk.ID), big.NewInt(int64(len(sigs))))
@@ -179,8 +177,7 @@ func (vf *Verifier) VerifyBatchMulti(pks []*PublicKey, msgs [][]byte, sigs []*Si
 		}
 		h := vf.params.hashH2(msgs[i], sig.R, pks[i].PID)
 		hInv := new(big.Int).ModInverse(h, bn254.Order)
-		a := new(bn254.G1).ScalarBaseMult(new(big.Int).Mul(sig.V, hInv))
-		a.Add(a, new(bn254.G1).Neg(sig.R))
+		a := new(bn254.G1).ScalarBaseMultAdd(new(big.Int).Mul(sig.V, hInv), new(bn254.G1).Neg(sig.R))
 		ps = append(ps, a.ScalarMult(a, rho))
 		qs = append(qs, sig.S)
 		qSum.Add(qSum, new(bn254.G2).ScalarMult(vf.params.QID(pks[i].ID), rho))
