@@ -1,15 +1,18 @@
 // Command manetsim regenerates the paper's simulation figures (Figures
 // 1–5 plus the DSR extension): AODV vs McCLS-AODV across node speed, with
-// and without 2-node black hole and rushing attacks. Every sweep point and
-// repeat of a figure runs concurrently on a bounded worker pool; output is
-// bit-identical at any -parallel value.
+// and without 2-node black hole and rushing attacks. Figures 7–8 are the
+// resilience extension: delivery and control overhead under node churn,
+// with the McCLS curve enrolling online through an in-network KGC. Every
+// sweep point and repeat of a figure runs concurrently on a bounded worker
+// pool; output is bit-identical at any -parallel value.
 //
 // Usage:
 //
 //	manetsim -fig 1                     # one figure
-//	manetsim -all                       # all five + DSR extension
+//	manetsim -all                       # all five + DSR + resilience
 //	manetsim -fig 5 -csv                # machine-readable output
 //	manetsim -fig 3 -duration 900s -repeats 5 -seed 42
+//	manetsim -fig 7 -churn 0,2,4        # churn sweep, custom x-axis
 //	manetsim -all -parallel 8 -progress # 8 workers, per-trial progress
 //	manetsim -all -timeout 2m -json BENCH_manet.json
 package main
@@ -61,13 +64,14 @@ type benchReport struct {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("manetsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	fig := fs.Int("fig", 0, "figure to regenerate (1-5; 6 = DSR extension)")
-	all := fs.Bool("all", false, "regenerate all figures including the DSR extension")
+	fig := fs.Int("fig", 0, "figure to regenerate (1-5; 6 = DSR extension; 7-8 = churn resilience)")
+	all := fs.Bool("all", false, "regenerate all figures including the DSR and resilience extensions")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	duration := fs.Duration("duration", 300*time.Second, "simulated time per run")
 	repeats := fs.Int("repeats", 3, "seeds averaged per sweep point")
 	seed := fs.Int64("seed", 1, "base RNG seed")
 	speeds := fs.String("speeds", "1,5,10,15,20", "comma-separated node speeds (m/s)")
+	churn := fs.String("churn", "0,1,2,3,4", "comma-separated crash/restart event counts (figures 7-8)")
 	nodes := fs.Int("nodes", 20, "number of nodes")
 	flows := fs.Int("flows", 10, "CBR flows")
 	parallel := fs.Int("parallel", 0, "trial worker pool size (0 = GOMAXPROCS, 1 = serial)")
@@ -78,11 +82,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	if !*all && (*fig < 1 || *fig > 6) {
+	if !*all && (*fig < 1 || *fig > 8) {
 		fs.Usage()
-		return fmt.Errorf("pass -fig 1..6 or -all")
+		return fmt.Errorf("pass -fig 1..8 or -all")
 	}
 	speedVals, err := parseSpeeds(*speeds)
+	if err != nil {
+		return err
+	}
+	churnVals, err := parseChurn(*churn)
 	if err != nil {
 		return err
 	}
@@ -114,14 +122,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 		},
 	}
 
-	gens := map[int]func(manet.SweepConfig) (manet.Figure, error){
-		1: manet.Figure1, 2: manet.Figure2, 3: manet.Figure3,
-		4: manet.Figure4, 5: manet.Figure5,
-		6: manet.FigureDSR, // extension: DSR substrate
+	// Figures 7–8 sweep churn instead of speed and carry their own config;
+	// everything else (base scenario, repeats, pool, progress) is shared.
+	rcfg := manet.ResilienceConfig{
+		Base:         cfg.Base,
+		Churn:        churnVals,
+		Repeats:      *repeats,
+		Seed:         *seed,
+		Workers:      *parallel,
+		TrialTimeout: *timeout,
+		Progress:     cfg.Progress,
+	}
+
+	gens := map[int]func() (manet.Figure, error){
+		1: func() (manet.Figure, error) { return manet.Figure1(cfg) },
+		2: func() (manet.Figure, error) { return manet.Figure2(cfg) },
+		3: func() (manet.Figure, error) { return manet.Figure3(cfg) },
+		4: func() (manet.Figure, error) { return manet.Figure4(cfg) },
+		5: func() (manet.Figure, error) { return manet.Figure5(cfg) },
+		6: func() (manet.Figure, error) { return manet.FigureDSR(cfg) },                 // extension: DSR substrate
+		7: func() (manet.Figure, error) { return manet.FigureResilience(rcfg) },         // extension: PDR under churn
+		8: func() (manet.Figure, error) { return manet.FigureResilienceOverhead(rcfg) }, // extension: overhead under churn
 	}
 	which := []int{*fig}
 	if *all {
-		which = []int{1, 2, 3, 4, 5, 6}
+		which = []int{1, 2, 3, 4, 5, 6, 7, 8}
 	}
 
 	workers := *parallel
@@ -139,7 +164,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	for _, id := range which {
 		st = figStats{}
 		start := time.Now()
-		figure, err := gens[id](cfg)
+		figure, err := gens[id]()
 		if err != nil {
 			return fmt.Errorf("figure %d: %w", id, err)
 		}
@@ -189,6 +214,29 @@ func parseSpeeds(s string) ([]float64, error) {
 		}
 		if seen[v] {
 			return nil, fmt.Errorf("duplicate speed %g", v)
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseChurn parses the -churn list under the same rules as parseSpeeds,
+// except that zero is a valid (and important) point: the fault-free
+// baseline anchors the churn sweep.
+func parseChurn(s string) ([]int, error) {
+	var out []int
+	seen := map[int]bool{}
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad churn count %q: %w", part, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("churn count %q must be non-negative", part)
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("duplicate churn count %d", v)
 		}
 		seen[v] = true
 		out = append(out, v)

@@ -45,11 +45,65 @@ func TestRunRequiresFigureSelection(t *testing.T) {
 	if err := run(nil, new(strings.Builder), new(strings.Builder)); err == nil {
 		t.Fatal("no -fig/-all accepted")
 	}
-	if err := run([]string{"-fig", "7"}, new(strings.Builder), new(strings.Builder)); err == nil {
+	if err := run([]string{"-fig", "9"}, new(strings.Builder), new(strings.Builder)); err == nil {
 		t.Fatal("out-of-range -fig accepted")
 	}
 	if err := run([]string{"-fig", "1", "-speeds", "5,5"}, new(strings.Builder), new(strings.Builder)); err == nil {
 		t.Fatal("duplicate speeds accepted")
+	}
+	if err := run([]string{"-fig", "7", "-churn", "0,-1"}, new(strings.Builder), new(strings.Builder)); err == nil {
+		t.Fatal("negative churn accepted")
+	}
+}
+
+func TestParseChurn(t *testing.T) {
+	got, err := parseChurn("0, 2,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	for name, input := range map[string]string{
+		"malformed": "1,x",
+		"negative":  "-1",
+		"duplicate": "2,2",
+		"float":     "1.5",
+	} {
+		if _, err := parseChurn(input); err == nil {
+			t.Fatalf("%s: accepted %q", name, input)
+		}
+	}
+}
+
+// TestRunFig7EndToEnd drives the CLI through the resilience figure on a
+// tiny churn sweep and checks the CSV carries the churn axis and ci95
+// columns.
+func TestRunFig7EndToEnd(t *testing.T) {
+	var stdout, stderr strings.Builder
+	err := run([]string{
+		"-fig", "7",
+		"-duration", "10s",
+		"-churn", "0,1",
+		"-repeats", "2",
+		"-parallel", "4",
+		"-csv",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.HasPrefix(out, "churn,AODV,AODV ci95,McCLS,McCLS ci95\n") {
+		t.Fatalf("unexpected CSV header:\n%s", out)
+	}
+	if !strings.Contains(out, "\n0,") || !strings.Contains(out, "\n1,") {
+		t.Fatalf("churn axis rows missing:\n%s", out)
 	}
 }
 

@@ -41,16 +41,20 @@ func (n *Node) helloLoop() {
 	}
 	n.sendHello()
 	n.sweepNeighbors()
-	n.sim.Schedule(n.cfg.HelloInterval, n.helloLoop)
+	n.schedule(n.cfg.HelloInterval, n.helloLoop)
 }
 
 // sendHello signs and broadcasts one beacon.
 func (n *Node) sendHello() {
 	h := &Hello{Seq: n.seq, Sender: n.ID}
-	auth, delay := n.auth.Sign(n.ID, h.Encode())
+	auth, delay, err := n.auth.Sign(n.ID, h.Encode())
+	if err != nil {
+		n.Stats.SignFailures++
+		return
+	}
 	h.Auth = auth
 	n.Stats.HelloSent++
-	n.sim.Schedule(delay, func() {
+	n.schedule(delay, func() {
 		n.medium.Broadcast(n.ID, helloWireSize+n.auth.Overhead(), h)
 	})
 }

@@ -165,8 +165,11 @@ func (r *RERR) wireSize(overhead int) int {
 // crypto latencies without doing the math (see DESIGN.md §1).
 type Authenticator interface {
 	// Sign produces an authentication tag for payload as transmitted by
-	// node, and reports the processing delay signing costs.
-	Sign(node int, payload []byte) (auth []byte, delay time.Duration)
+	// node, and reports the processing delay signing costs. A non-nil
+	// error means no usable tag could be produced (e.g. the signer's
+	// randomness source failed); callers count the failure and drop the
+	// packet instead of transmitting an unverifiable tag.
+	Sign(node int, payload []byte) (auth []byte, delay time.Duration, err error)
 	// Verify checks the tag produced by node over payload, and reports
 	// the processing delay verification costs.
 	Verify(node int, payload, auth []byte) (ok bool, delay time.Duration)
@@ -181,7 +184,7 @@ type NullAuth struct{}
 var _ Authenticator = NullAuth{}
 
 // Sign returns an empty tag at zero cost.
-func (NullAuth) Sign(int, []byte) ([]byte, time.Duration) { return nil, 0 }
+func (NullAuth) Sign(int, []byte) ([]byte, time.Duration, error) { return nil, 0, nil }
 
 // Verify accepts everything at zero cost.
 func (NullAuth) Verify(int, []byte, []byte) (bool, time.Duration) { return true, 0 }

@@ -118,12 +118,17 @@ type Stats struct {
 	NeighborsLost  uint64 // neighbors declared dead by HELLO loss
 
 	AuthRejected uint64 // control packets dropped for bad authentication
+	SignFailures uint64 // control packets not sent because signing failed
+
+	Crashes  uint64 // Down transitions (fault injection)
+	Restarts uint64 // Up transitions
 
 	DropNoRoute        uint64
 	DropBufferOverflow uint64
 	DropLinkBreak      uint64
 	DropTTLExpired     uint64
 	DropByAttacker     uint64 // data absorbed by this node acting maliciously
+	DropNodeDown       uint64 // frames discarded because this node was down
 
 	DelaySum   time.Duration // end-to-end, summed at this destination
 	DelayCount uint64
@@ -192,10 +197,19 @@ type Node struct {
 	buffer    map[int][]*DataPacket
 	lastHeard map[int]sim.Time
 
+	// down marks a crashed node; epoch invalidates every timer armed
+	// before the crash (the event queue has no unschedule, so armed
+	// closures re-check the epoch they captured and fall through).
+	down  bool
+	epoch uint64
+
 	// Hooks customize behaviour (attacks, fault injection).
 	Hooks Hooks
 	// OnDeliver, if set, observes every data packet delivered here.
 	OnDeliver func(*DataPacket)
+	// OnRestart, if set, runs after Up restores the node (the secure
+	// routing layer uses it to re-enroll with the KGC after key loss).
+	OnRestart func(*Node)
 	// Stats accumulates protocol counters.
 	Stats Stats
 }
@@ -219,7 +233,7 @@ func NewNode(id int, s *sim.Simulator, medium *radio.Medium, cfg Config, auth Au
 	if n.cfg.HelloInterval > 0 {
 		// Desynchronize the beacon phase across nodes.
 		offset := time.Duration(s.Rand().Int63n(int64(n.cfg.HelloInterval)))
-		s.Schedule(offset, n.helloLoop)
+		n.schedule(offset, n.helloLoop)
 	}
 	return n
 }
@@ -233,6 +247,74 @@ func (n *Node) Seq() uint32 { return n.seq }
 // seqNewer reports whether a is strictly fresher than b under RFC 3561
 // rollover arithmetic.
 func seqNewer(a, b uint32) bool { return int32(a-b) > 0 }
+
+// ---------------------------------------------------------------------------
+// Crash/restart lifecycle (fault injection)
+
+// schedule arms fn after d of virtual time, tagged with the node's current
+// epoch: if the node crashes before the event fires, the closure is a no-op.
+// All node-internal timers (discovery retries, sign/verify delays, hello
+// beacons, rebroadcast jitter) go through this wrapper.
+func (n *Node) schedule(d time.Duration, fn func()) {
+	epoch := n.epoch
+	n.sim.Schedule(d, func() {
+		if n.epoch != epoch || n.down {
+			return
+		}
+		fn()
+	})
+}
+
+// IsDown reports whether the node is currently crashed.
+func (n *Node) IsDown() bool { return n.down }
+
+// Down crashes the node: armed timers are invalidated, in-flight receptions
+// (verify delays already scheduled) are dropped, buffered data and pending
+// discoveries are lost, and the radio stops receiving. Routing state is kept
+// in memory so Up can choose to retain or flush it. Returns false if the
+// node was already down.
+func (n *Node) Down() bool {
+	if n.down {
+		return false
+	}
+	n.down = true
+	n.epoch++
+	n.Stats.Crashes++
+	// Volatile protocol state dies with the process.
+	n.pending = make(map[int]*discovery)
+	n.buffer = make(map[int][]*DataPacket)
+	n.lastHeard = make(map[int]sim.Time)
+	n.medium.SetNodeDown(n.ID, true)
+	return true
+}
+
+// Up restarts a crashed node. With retainRoutes the routing table survives
+// (modelling persisted state, which deliberately leaves stale routes for the
+// RERR machinery to discover); without it the table and duplicate cache are
+// flushed, as after a cold boot. The sequence number is kept monotonic
+// either way (RFC 3561 §6.1 requires it survive reboots, else the node's
+// own RREPs would lose every freshness comparison). Returns false if the
+// node was not down.
+func (n *Node) Up(retainRoutes bool) bool {
+	if !n.down {
+		return false
+	}
+	n.down = false
+	n.Stats.Restarts++
+	if !retainRoutes {
+		n.routes = make(map[int]*routeEntry)
+		n.seen = make(map[seenKey]sim.Time)
+	}
+	n.medium.SetNodeDown(n.ID, false)
+	if n.cfg.HelloInterval > 0 {
+		offset := time.Duration(n.sim.Rand().Int63n(int64(n.cfg.HelloInterval)))
+		n.schedule(offset, n.helloLoop)
+	}
+	if n.OnRestart != nil {
+		n.OnRestart(n)
+	}
+	return true
+}
 
 // ---------------------------------------------------------------------------
 // Routing table
@@ -325,6 +407,11 @@ func (n *Node) invalidateVia(hop int) []UnreachableDest {
 // buffering it and starting route discovery if necessary.
 func (n *Node) Send(dst, bytes int) {
 	n.Stats.DataSent++
+	if n.down {
+		// Offered load during an outage counts against delivery ratio.
+		n.Stats.DropNodeDown++
+		return
+	}
 	pkt := &DataPacket{
 		ID:     uint64(n.ID)<<40 | n.nextPkt,
 		Src:    n.ID,
@@ -422,7 +509,7 @@ func (n *Node) issueRREQ(dst int, d *discovery) {
 	n.sendRREQ(req)
 
 	gen := d.gen
-	n.sim.Schedule(n.cfg.ringTraversalTime(d.ttl), func() {
+	n.schedule(n.cfg.ringTraversalTime(d.ttl), func() {
 		cur, ok := n.pending[dst]
 		if !ok || cur.gen != gen {
 			return // satisfied or superseded
@@ -468,9 +555,13 @@ func (n *Node) discoveryComplete(dst int) {
 // sendRREQ signs and broadcasts an RREQ as this node.
 func (n *Node) sendRREQ(req *RREQ) {
 	req.Sender = n.ID
-	auth, delay := n.auth.Sign(n.ID, req.Encode())
+	auth, delay, err := n.auth.Sign(n.ID, req.Encode())
+	if err != nil {
+		n.Stats.SignFailures++
+		return
+	}
 	req.Auth = auth
-	n.sim.Schedule(delay, func() {
+	n.schedule(delay, func() {
 		n.medium.Broadcast(n.ID, rreqWireSize+n.auth.Overhead(), req)
 	})
 }
@@ -479,14 +570,18 @@ func (n *Node) sendRREQ(req *RREQ) {
 // hop. Exported because attack behaviours forge replies through it.
 func (n *Node) SendRREP(to int, rep *RREP) bool {
 	rep.Sender = n.ID
-	auth, delay := n.auth.Sign(n.ID, rep.Encode())
+	auth, delay, err := n.auth.Sign(n.ID, rep.Encode())
+	if err != nil {
+		n.Stats.SignFailures++
+		return false
+	}
 	rep.Auth = auth
 	size := rrepWireSize + n.auth.Overhead()
 	if !n.medium.InRange(n.ID, to) {
 		n.linkBroken(to)
 		return false
 	}
-	n.sim.Schedule(delay, func() {
+	n.schedule(delay, func() {
 		n.medium.Unicast(n.ID, to, size, rep)
 	})
 	return true
@@ -495,10 +590,14 @@ func (n *Node) SendRREP(to int, rep *RREP) bool {
 // sendRERR signs and broadcasts a route-error report.
 func (n *Node) sendRERR(lost []UnreachableDest) {
 	rerr := &RERR{Unreachable: lost, Sender: n.ID}
-	auth, delay := n.auth.Sign(n.ID, rerr.Encode())
+	auth, delay, err := n.auth.Sign(n.ID, rerr.Encode())
+	if err != nil {
+		n.Stats.SignFailures++
+		return
+	}
 	rerr.Auth = auth
 	n.Stats.RERRSent++
-	n.sim.Schedule(delay, func() {
+	n.schedule(delay, func() {
 		n.medium.Broadcast(n.ID, rerr.wireSize(n.auth.Overhead()), rerr)
 	})
 }
@@ -510,6 +609,10 @@ func (n *Node) sendRERR(lost []UnreachableDest) {
 // share one message value among receivers, so every branch copies before
 // mutating.
 func (n *Node) handleFrame(from int, payload any) {
+	if n.down {
+		n.Stats.DropNodeDown++
+		return
+	}
 	n.heard(from)
 	switch msg := payload.(type) {
 	case *Hello:
@@ -545,7 +648,7 @@ func (n *Node) receiveControl(from int, payload, auth []byte, sender int, proces
 		return
 	}
 	ok, delay := n.auth.Verify(sender, payload, auth)
-	n.sim.Schedule(delay, func() {
+	n.schedule(delay, func() {
 		if !ok {
 			n.Stats.AuthRejected++
 			return
@@ -617,7 +720,7 @@ func (n *Node) processRREQ(from int, req RREQ) {
 	fwd.TTL--
 	n.Stats.RREQForwarded++
 	jitter := n.drawJitter()
-	n.sim.Schedule(jitter, func() { n.sendRREQ(&fwd) })
+	n.schedule(jitter, func() { n.sendRREQ(&fwd) })
 }
 
 // drawJitter picks the rebroadcast delay, honouring the hook.

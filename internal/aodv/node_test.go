@@ -258,8 +258,8 @@ func TestDataTTLExpiry(t *testing.T) {
 // passes. It stands in for signature verification in unit tests.
 type rejectAuth struct{ bad int }
 
-func (a rejectAuth) Sign(node int, _ []byte) ([]byte, time.Duration) {
-	return []byte{byte(node)}, 0
+func (a rejectAuth) Sign(node int, _ []byte) ([]byte, time.Duration, error) {
+	return []byte{byte(node)}, 0, nil
 }
 func (a rejectAuth) Verify(node int, _, _ []byte) (bool, time.Duration) {
 	return node != a.bad, 0

@@ -63,6 +63,7 @@ type Stats struct {
 	ErrorSent        uint64
 
 	AuthRejected uint64
+	SignFailures uint64
 
 	DropNoRoute        uint64
 	DropBufferOverflow uint64
@@ -240,7 +241,11 @@ func (n *Node) reportBrokenLink(pkt *DataPacket, next int) {
 		return // we are the source; cache already purged
 	}
 	rerr := &RouteError{From: n.ID, To: next, Sender: n.ID}
-	auth, delay := n.auth.Sign(n.ID, rerr.Encode())
+	auth, delay, err := n.auth.Sign(n.ID, rerr.Encode())
+	if err != nil {
+		n.Stats.SignFailures++
+		return
+	}
 	rerr.Auth = auth
 	n.Stats.ErrorSent++
 	prev := pkt.Route[pkt.Idx-1]
@@ -295,7 +300,11 @@ func (n *Node) issueRequest(dst int, d *discovery) {
 
 func (n *Node) broadcastRequest(req *RouteRequest) {
 	req.Sender = n.ID
-	auth, delay := n.auth.Sign(n.ID, req.Encode())
+	auth, delay, err := n.auth.Sign(n.ID, req.Encode())
+	if err != nil {
+		n.Stats.SignFailures++
+		return
+	}
 	req.Auth = auth
 	n.sim.Schedule(delay, func() {
 		n.medium.Broadcast(n.ID, req.wireSize(n.auth.Overhead()), req)
@@ -306,7 +315,11 @@ func (n *Node) broadcastRequest(req *RouteRequest) {
 // next hop. Exported for attack behaviours.
 func (n *Node) SendReply(to int, rep *RouteReply) {
 	rep.Sender = n.ID
-	auth, delay := n.auth.Sign(n.ID, rep.Encode())
+	auth, delay, err := n.auth.Sign(n.ID, rep.Encode())
+	if err != nil {
+		n.Stats.SignFailures++
+		return
+	}
 	rep.Auth = auth
 	n.sim.Schedule(delay, func() {
 		n.medium.Unicast(n.ID, to, rep.wireSize(n.auth.Overhead()), rep)

@@ -158,8 +158,8 @@ func TestDSRAuthRejectsUnenrolledRelay(t *testing.T) {
 // dsrRejectAuth rejects control packets from one node.
 type dsrRejectAuth struct{ bad int }
 
-func (a dsrRejectAuth) Sign(node int, _ []byte) ([]byte, time.Duration) {
-	return []byte{byte(node)}, 0
+func (a dsrRejectAuth) Sign(node int, _ []byte) ([]byte, time.Duration, error) {
+	return []byte{byte(node)}, 0, nil
 }
 func (a dsrRejectAuth) Verify(node int, _, _ []byte) (bool, time.Duration) {
 	return node != a.bad, 0

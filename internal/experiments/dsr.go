@@ -47,7 +47,12 @@ func (sc Scenario) RunDSRContext(ctx context.Context) (Result, error) {
 		}
 	}
 
-	auth, err := sc.buildAuth(rand.New(rand.NewSource(sc.Seed^0x647372)), attackers)
+	if sc.OnlineEnrollment {
+		// The enrollment protocol is wired through the AODV node
+		// lifecycle only; failing beats silently running keyless.
+		return Result{}, fmt.Errorf("experiments: online enrollment is not supported on the DSR substrate")
+	}
+	auth, _, err := sc.buildAuth(rand.New(rand.NewSource(sc.Seed^0x647372)), attackers)
 	if err != nil {
 		return Result{}, err
 	}

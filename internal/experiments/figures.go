@@ -28,7 +28,10 @@ type Figure struct {
 	Title  string
 	XLabel string
 	YLabel string
-	Series []Series
+	// XColumn names the x column in rendered and CSV output; empty means
+	// "speed" (the original figures sweep node speed).
+	XColumn string
+	Series  []Series
 }
 
 // TrialUpdate is the per-trial progress record delivered to
@@ -297,10 +300,18 @@ func Figure5(cfg SweepConfig) (Figure, error) {
 
 // Render formats a figure as an aligned text table, one row per speed;
 // values carry their ±95% CI when repeat statistics are available.
+// xColumn is the x-axis column name shared by Render and CSV.
+func (f Figure) xColumn() string {
+	if f.XColumn != "" {
+		return f.XColumn
+	}
+	return "speed"
+}
+
 func (f Figure) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s — %s (%s vs %s)\n", f.ID, f.Title, f.YLabel, f.XLabel)
-	fmt.Fprintf(&b, "%-8s", "speed")
+	fmt.Fprintf(&b, "%-8s", f.xColumn())
 	for _, s := range f.Series {
 		fmt.Fprintf(&b, "  %22s", s.Label)
 	}
@@ -327,7 +338,7 @@ func (f Figure) Render() string {
 // half-width of its 95% confidence interval.
 func (f Figure) CSV() string {
 	var b strings.Builder
-	b.WriteString("speed")
+	b.WriteString(f.xColumn())
 	for _, s := range f.Series {
 		b.WriteString(",")
 		b.WriteString(s.Label)

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mccls/internal/metrics"
+	"mccls/internal/runner"
+)
+
+// Resilience sweep: the benign-failure counterpart of the attack figures.
+// The x-axis is node churn (crash/restart cycles per run) instead of speed;
+// the curves compare plain AODV against the full McCLS-AODV stack with
+// online enrollment, so the McCLS curve pays for churn twice — lost routes
+// like everyone else, plus key loss and re-enrollment through the
+// in-network KGC. The churn schedule at a given (events, seed) point is
+// drawn from a seed-derived stream independent of the security mode, so
+// both curves suffer the identical crash timeline (paired comparison).
+
+// ResilienceConfig drives the churn sweep. Zero values select a 900 s run
+// of the paper's 20-node field at 5 m/s with 0→4 crash/restart events.
+type ResilienceConfig struct {
+	// Base is the common scenario; Security/OnlineEnrollment/ChurnEvents
+	// and Seed are overridden per sweep point.
+	Base Scenario
+	// Churn lists the swept crash/restart event counts (default 0–4).
+	Churn []int
+	// Repeats averages each point over this many seeds (default 3).
+	Repeats int
+	// Seed is the base seed; repeat k of a point uses Seed + k·7919.
+	Seed int64
+
+	Workers      int
+	TrialTimeout time.Duration
+	Progress     func(TrialUpdate)
+	Context      context.Context
+}
+
+func (cfg ResilienceConfig) withDefaults() ResilienceConfig {
+	if len(cfg.Churn) == 0 {
+		cfg.Churn = []int{0, 1, 2, 3, 4}
+	}
+	if cfg.Repeats == 0 {
+		cfg.Repeats = 3
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Context == nil {
+		cfg.Context = context.Background()
+	}
+	if cfg.Base.Duration == 0 {
+		cfg.Base.Duration = 900 * time.Second
+	}
+	if cfg.Base.MaxSpeed == 0 {
+		cfg.Base.MaxSpeed = 5
+	}
+	return cfg
+}
+
+// resilienceCurve is one security configuration swept across the churn axis.
+type resilienceCurve struct {
+	label  string
+	sec    SecurityMode
+	online bool
+}
+
+var resilienceCurves = []resilienceCurve{
+	{"AODV", Plain, false},
+	{"McCLS", McCLSCost, true},
+}
+
+// runChurnSweeps expands every (curve, churn, repeat) combination into one
+// flat trial batch, mirroring SweepConfig.runSweeps but along the churn
+// axis. SweepResult.Speeds carries the churn counts.
+func (cfg ResilienceConfig) runChurnSweeps() ([]SweepResult, error) {
+	cfg = cfg.withDefaults()
+	axis := make([]float64, len(cfg.Churn))
+	for i, c := range cfg.Churn {
+		axis[i] = float64(c)
+	}
+	trials := make([]runner.Trial[metrics.Summary], 0, len(resilienceCurves)*len(cfg.Churn)*cfg.Repeats)
+	for _, c := range resilienceCurves {
+		for _, churn := range cfg.Churn {
+			for k := 0; k < cfg.Repeats; k++ {
+				sc := cfg.Base
+				sc.Security = c.sec
+				sc.OnlineEnrollment = c.online
+				sc.ChurnEvents = churn
+				sc.Seed = cfg.Seed + int64(k)*7919
+				trials = append(trials, runner.Trial[metrics.Summary]{
+					Label: fmt.Sprintf("%s churn=%d seed=%d", c.label, churn, sc.Seed),
+					Run: func(ctx context.Context, obs *runner.Obs) (metrics.Summary, error) {
+						res, err := sc.RunContext(ctx)
+						obs.Events = res.Events
+						return res.Summary, err
+					},
+				})
+			}
+		}
+	}
+	sums, err := runner.Run(cfg.Context, runner.Options{
+		Workers:  cfg.Workers,
+		Timeout:  cfg.TrialTimeout,
+		Progress: cfg.Progress,
+	}, trials)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]SweepResult, len(resilienceCurves))
+	idx := 0
+	for i := range resilienceCurves {
+		r := SweepResult{Speeds: axis}
+		for range cfg.Churn {
+			agg := metrics.NewAggregate(sums[idx : idx+cfg.Repeats])
+			idx += cfg.Repeats
+			r.Aggregates = append(r.Aggregates, agg)
+			r.Summaries = append(r.Summaries, agg.Pooled)
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// resilienceFigure projects the churn sweep through one metric selector.
+func (cfg ResilienceConfig) resilienceFigure(sel metricSel) ([]Series, error) {
+	results, err := cfg.runChurnSweeps()
+	if err != nil {
+		return nil, err
+	}
+	series := make([]Series, len(resilienceCurves))
+	for i, c := range resilienceCurves {
+		series[i] = results[i].series(c.label, sel)
+	}
+	return series, nil
+}
+
+// FigureResilience generates "Packet Delivery Ratio under churn": delivery
+// for plain AODV vs the full McCLS stack (online enrollment) as the number
+// of crash/restart events grows.
+func FigureResilience(cfg ResilienceConfig) (Figure, error) {
+	series, err := cfg.resilienceFigure(pdrSel)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID: "fig7", Title: "Packet Delivery Ratio under churn",
+		XLabel: "crash/restart events per run", YLabel: "packet delivery ratio",
+		XColumn: "churn", Series: series,
+	}, nil
+}
+
+// FigureResilienceOverhead generates "RREQ Ratio under churn": the control
+// overhead each stack pays to recover the routes churn destroys.
+func FigureResilienceOverhead(cfg ResilienceConfig) (Figure, error) {
+	series, err := cfg.resilienceFigure(rreqSel)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID: "fig8", Title: "RREQ Ratio under churn",
+		XLabel: "crash/restart events per run", YLabel: "RREQ ratio",
+		XColumn: "churn", Series: series,
+	}, nil
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"mccls/internal/fault"
+)
+
+func TestOnlineEnrollmentScenario(t *testing.T) {
+	sc := quick()
+	sc.Security = McCLSCost
+	sc.OnlineEnrollment = true
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 19 clients (20 nodes minus the KGC host) enroll during the
+	// 2 s traffic warm-up, so delivery matches the pre-enrolled baseline.
+	if res.Enroll.Successes != 19 {
+		t.Fatalf("Enroll.Successes = %d, want 19", res.Enroll.Successes)
+	}
+	if pdr := res.PacketDeliveryRatio(); pdr < 0.9 {
+		t.Fatalf("PDR with online enrollment = %.3f, want ≥0.9", pdr)
+	}
+}
+
+func TestChurnScenarioDeterministicAndPaired(t *testing.T) {
+	sc := quick()
+	sc.Security = McCLSCost
+	sc.OnlineEnrollment = true
+	sc.ChurnEvents = 3
+	r1, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Summary != r2.Summary || r1.Enroll != r2.Enroll {
+		t.Fatal("same seed + churn produced different results")
+	}
+	if r1.Summary.Crashes != 3 || r1.Summary.Restarts == 0 {
+		t.Fatalf("churn not applied: crashes=%d restarts=%d",
+			r1.Summary.Crashes, r1.Summary.Restarts)
+	}
+
+	// The churn stream is derived from Seed independently of the security
+	// mode: plain AODV under the same seed must suffer the same crash
+	// timeline (that is what makes the two sweep curves a paired
+	// comparison).
+	plain := quick()
+	plain.ChurnEvents = 3
+	rp, err := plain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Summary.Crashes != r1.Summary.Crashes {
+		t.Fatalf("churn schedule depends on security mode: %d vs %d crashes",
+			rp.Summary.Crashes, r1.Summary.Crashes)
+	}
+}
+
+func TestExplicitFaultScheduleDeterministic(t *testing.T) {
+	sc := quick()
+	sc.Faults = fault.Schedule{
+		Crashes: []fault.Crash{{Node: 5, At: 10 * time.Second, RestartAt: 25 * time.Second}},
+		Loss:    []fault.LossWindow{{From: 5 * time.Second, To: 40 * time.Second, Rate: 0.3}},
+	}
+	r1, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Summary != r2.Summary {
+		t.Fatal("explicit fault schedule broke determinism")
+	}
+	if r1.Summary.Crashes != 1 || r1.Summary.Restarts != 1 {
+		t.Fatalf("scheduled crash not applied: %+v", r1.Summary)
+	}
+
+	base := quick()
+	rb, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Summary == r1.Summary {
+		t.Fatal("a 30% loss window plus a relay crash changed nothing")
+	}
+}
+
+// TestResilienceSweepWorkerInvariance is the issue's determinism criterion:
+// the churn sweep must be bit-identical run serially and on a worker pool.
+func TestResilienceSweepWorkerInvariance(t *testing.T) {
+	cfg := ResilienceConfig{
+		Base:    Scenario{Duration: 30 * time.Second, MaxSpeed: 5},
+		Churn:   []int{0, 2},
+		Repeats: 2,
+		Seed:    5,
+	}
+	cfg.Workers = 1
+	serial, err := cfg.runChurnSweeps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	pooled, err := cfg.runChurnSweeps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, pooled) {
+		t.Fatal("sweep results depend on worker count")
+	}
+}
+
+func TestFigureResilienceShape(t *testing.T) {
+	cfg := ResilienceConfig{
+		Base:    Scenario{Duration: 30 * time.Second, MaxSpeed: 5},
+		Churn:   []int{0, 3},
+		Repeats: 2,
+		Seed:    3,
+	}
+	fig, err := FigureResilience(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "fig7" || len(fig.Series) != 2 {
+		t.Fatalf("unexpected figure shape: %q with %d series", fig.ID, len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) != 2 || len(s.Y) != 2 || len(s.YErr) != 2 {
+			t.Fatalf("series %q has ragged axes", s.Label)
+		}
+		if s.X[0] != 0 || s.X[1] != 3 {
+			t.Fatalf("series %q x-axis = %v, want churn counts", s.Label, s.X)
+		}
+		if s.Y[0] <= 0 || s.Y[0] > 1 {
+			t.Fatalf("series %q PDR at churn 0 = %v", s.Label, s.Y[0])
+		}
+	}
+}

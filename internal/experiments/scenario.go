@@ -14,6 +14,7 @@ import (
 
 	"mccls/internal/aodv"
 	"mccls/internal/attack"
+	"mccls/internal/fault"
 	"mccls/internal/metrics"
 	"mccls/internal/mobility"
 	"mccls/internal/radio"
@@ -118,6 +119,23 @@ type Scenario struct {
 	// (0 selects the secrouting defaults). Ignored under Plain.
 	SignLatency, VerifyLatency time.Duration
 
+	// Faults is an explicit fault schedule applied to the run: node
+	// crash/restart cycles, link and region outages, loss windows.
+	Faults fault.Schedule
+	// ChurnEvents adds this many random crash/restart cycles on top of
+	// Faults. The schedule is drawn from Seed on a stream independent of
+	// the simulation RNG, so every security mode at the same seed
+	// suffers the identical churn (paired comparison).
+	ChurnEvents int
+	// OnlineEnrollment replaces out-of-band pre-enrollment with the
+	// in-network KGC protocol: nodes request keys over the radio with
+	// capped-exponential-backoff retries, and a crashed node loses its
+	// volatile keys and re-enrolls on restart. Ignored under Plain.
+	OnlineEnrollment bool
+	// Enroll parameterizes online enrollment (zero values select the
+	// secrouting defaults: KGC at node 0, 500ms timeout, 1s–16s backoff).
+	Enroll secrouting.EnrollConfig
+
 	Radio radio.Config
 	AODV  aodv.Config
 }
@@ -176,6 +194,9 @@ func (sc Scenario) withDefaults() Scenario {
 type Result struct {
 	metrics.Summary
 	Radio radio.Stats
+	// Enroll sums the online-enrollment counters (zero when the scenario
+	// pre-enrolls out of band).
+	Enroll secrouting.EnrollStats
 	// Events is the number of simulator events the run processed, the
 	// scenario's natural work unit for throughput observability.
 	Events uint64
@@ -217,7 +238,7 @@ func (sc Scenario) RunContext(ctx context.Context) (Result, error) {
 	// simulation's, so McCLSReal and McCLSCost runs consume the simulator
 	// RNG identically and produce identical routing behaviour (asserted
 	// by tests).
-	auth, err := sc.buildAuth(rand.New(rand.NewSource(sc.Seed^0x6d63434c53)), attackers)
+	auth, authority, err := sc.buildAuth(rand.New(rand.NewSource(sc.Seed^0x6d63434c53)), attackers)
 	if err != nil {
 		return Result{}, err
 	}
@@ -236,6 +257,52 @@ func (sc Scenario) RunContext(ctx context.Context) (Result, error) {
 			attack.MakeGrayhole(nodes[id], sc.GrayholeDropProb,
 				rand.New(rand.NewSource(sc.Seed+int64(id))))
 		}
+	}
+
+	// Online enrollment: the KGC lives at a node; everyone the paper's
+	// rule would key (honest nodes, plus gray hole insiders) becomes a
+	// client and must fetch its key over the air. The handler interposer
+	// requires the routing handlers to be installed already.
+	var enr *secrouting.Enrollment
+	if sc.OnlineEnrollment && authority != nil {
+		var clients []int
+		for i := 0; i < sc.Nodes; i++ {
+			if i == sc.Enroll.KGCNode {
+				continue
+			}
+			if sc.Attack == Grayhole || !attackers[i] {
+				clients = append(clients, i)
+			}
+		}
+		enr = secrouting.NewEnrollment(s, medium, authority, clients, sc.Enroll)
+		if err := enr.Start(); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Fault injection: explicit schedule plus seed-derived churn, applied
+	// through the node lifecycle so enrollment state tracks crashes.
+	sched := sc.Faults
+	if sc.ChurnEvents > 0 {
+		churnRng := rand.New(rand.NewSource(sc.Seed ^ 0x6368726e)) // "chrn"
+		churn := fault.Churn(churnRng, fault.ChurnConfig{
+			Events:   sc.ChurnEvents,
+			Nodes:    sc.Nodes,
+			Duration: sc.Duration,
+		})
+		sched.Crashes = append(append([]fault.Crash{}, sched.Crashes...), churn.Crashes...)
+	}
+	if !sched.Empty() {
+		fnodes := make([]fault.Node, len(nodes))
+		for i, nd := range nodes {
+			fnodes[i] = nd
+		}
+		var hooks fault.Hooks
+		if enr != nil {
+			hooks.OnCrash = enr.OnCrash
+			hooks.OnRestart = enr.OnRestart
+		}
+		fault.Apply(s, sched, fnodes, medium, hooks)
 	}
 
 	var honest []int
@@ -262,53 +329,62 @@ func (sc Scenario) RunContext(ctx context.Context) (Result, error) {
 		return Result{}, fmt.Errorf("scenario aborted after %d events: %w", s.Processed(), err)
 	}
 
-	return Result{Summary: metrics.Collect(nodes), Radio: medium.Stats, Events: s.Processed()}, nil
+	res := Result{Summary: metrics.Collect(nodes), Radio: medium.Stats, Events: s.Processed()}
+	if enr != nil {
+		res.Enroll = enr.Totals()
+	}
+	return res, nil
 }
 
-// buildAuth constructs the authenticator for the security mode, enrolling
-// every honest node. Gray hole attackers are *insiders*: they are enrolled
-// too, which is exactly the property that ablation probes.
-func (sc Scenario) buildAuth(rng *rand.Rand, attackers map[int]bool) (aodv.Authenticator, error) {
+// buildAuth constructs the authenticator for the security mode. Without
+// online enrollment it keys every honest node before t=0; with it, nodes
+// start keyless and the returned Authority is what the enrollment protocol
+// issues through. Gray hole attackers are *insiders*: they get keys too,
+// which is exactly the property that ablation probes.
+func (sc Scenario) buildAuth(rng *rand.Rand, attackers map[int]bool) (aodv.Authenticator, secrouting.Authority, error) {
 	if sc.Attack == Grayhole {
 		attackers = nil // insiders get keys like everyone else
 	}
+	var a interface {
+		aodv.Authenticator
+		secrouting.Authority
+	}
 	switch sc.Security {
 	case Plain:
-		return aodv.NullAuth{}, nil
+		return aodv.NullAuth{}, nil, nil
 	case McCLSCost:
-		a := secrouting.NewCostModelAuth()
+		m := secrouting.NewCostModelAuth()
 		if sc.SignLatency != 0 {
-			a.SignLatency = sc.SignLatency
+			m.SignLatency = sc.SignLatency
 		}
 		if sc.VerifyLatency != 0 {
-			a.VerifyLatency = sc.VerifyLatency
+			m.VerifyLatency = sc.VerifyLatency
 		}
-		for i := 0; i < sc.Nodes; i++ {
-			if !attackers[i] {
-				a.Enroll(i)
-			}
-		}
-		return a, nil
+		a = m
 	case McCLSReal:
-		a, err := secrouting.NewMcCLSAuth(rng)
+		m, err := secrouting.NewMcCLSAuth(rng)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if sc.SignLatency != 0 {
-			a.SignLatency = sc.SignLatency
+			m.SignLatency = sc.SignLatency
 		}
 		if sc.VerifyLatency != 0 {
-			a.VerifyLatency = sc.VerifyLatency
+			m.VerifyLatency = sc.VerifyLatency
 		}
-		for i := 0; i < sc.Nodes; i++ {
-			if !attackers[i] {
-				if err := a.Enroll(i); err != nil {
-					return nil, err
-				}
+		a = m
+	default:
+		return nil, nil, fmt.Errorf("experiments: unknown security mode %d", sc.Security)
+	}
+	if sc.OnlineEnrollment {
+		return a, a, nil
+	}
+	for i := 0; i < sc.Nodes; i++ {
+		if !attackers[i] {
+			if err := a.Enroll(i); err != nil {
+				return nil, nil, err
 			}
 		}
-		return a, nil
-	default:
-		return nil, fmt.Errorf("experiments: unknown security mode %d", sc.Security)
 	}
+	return a, a, nil
 }

@@ -1,0 +1,140 @@
+package fault
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"mccls/internal/mobility"
+	"mccls/internal/sim"
+)
+
+func TestChurnDeterministicAndBounded(t *testing.T) {
+	cfg := ChurnConfig{Events: 50, Nodes: 20, Duration: 900 * time.Second, Exclude: []int{0, 7}}
+	a := Churn(rand.New(rand.NewSource(42)), cfg)
+	b := Churn(rand.New(rand.NewSource(42)), cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	c := Churn(rand.New(rand.NewSource(43)), cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if len(a.Crashes) != cfg.Events {
+		t.Fatalf("got %d crashes, want %d", len(a.Crashes), cfg.Events)
+	}
+	for _, cr := range a.Crashes {
+		if cr.Node < 0 || cr.Node >= cfg.Nodes {
+			t.Fatalf("victim %d out of range", cr.Node)
+		}
+		if cr.Node == 0 || cr.Node == 7 {
+			t.Fatalf("excluded node %d crashed", cr.Node)
+		}
+		if cr.At < 0 || cr.At >= cfg.Duration {
+			t.Fatalf("crash at %v outside run", cr.At)
+		}
+		if cr.RestartAt <= cr.At {
+			t.Fatalf("restart %v not after crash %v", cr.RestartAt, cr.At)
+		}
+	}
+}
+
+func TestChurnEmptyCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, cfg := range []ChurnConfig{
+		{Events: 0, Nodes: 5, Duration: time.Minute},
+		{Events: 3, Nodes: 0, Duration: time.Minute},
+		{Events: 3, Nodes: 2, Duration: time.Minute, Exclude: []int{0, 1}},
+		{Events: 3, Nodes: 5},
+	} {
+		if s := Churn(rng, cfg); !s.Empty() {
+			t.Fatalf("config %+v produced non-empty schedule", cfg)
+		}
+	}
+}
+
+// recNode records lifecycle transitions, enforcing the Down/Up contract
+// that repeated transitions in the same direction return false.
+type recNode struct {
+	down              bool
+	crashes, restarts int
+}
+
+func (n *recNode) Down() bool {
+	if n.down {
+		return false
+	}
+	n.down = true
+	n.crashes++
+	return true
+}
+
+func (n *recNode) Up(bool) bool {
+	if !n.down {
+		return false
+	}
+	n.down = false
+	n.restarts++
+	return true
+}
+
+type recMedium struct{ links, regions, losses int }
+
+func (m *recMedium) AddLinkOutage(a, b int, from, to sim.Time)                      { m.links++ }
+func (m *recMedium) AddRegionOutage(_ mobility.Point, _ float64, from, to sim.Time) { m.regions++ }
+func (m *recMedium) AddLossWindow(from, to sim.Time, rate float64)                  { m.losses++ }
+
+func TestApplyLifecycleAndHooks(t *testing.T) {
+	s := sim.New(1)
+	nodes := []*recNode{{}, {}, {}}
+	fnodes := make([]Node, len(nodes))
+	for i, n := range nodes {
+		fnodes[i] = n
+	}
+	med := &recMedium{}
+	var crashed, restarted []int
+	sched := Schedule{
+		Crashes: []Crash{
+			{Node: 1, At: 1 * time.Second, RestartAt: 5 * time.Second},
+			// Overlapping window for the same node: the Down is a no-op,
+			// so the crash hook must not fire twice; its restart lands
+			// while the node is already up and must also be a no-op.
+			{Node: 1, At: 2 * time.Second, RestartAt: 3 * time.Second},
+			// Permanent crash (no restart).
+			{Node: 2, At: 4 * time.Second},
+			// Out-of-range victim: ignored.
+			{Node: 99, At: 1 * time.Second},
+		},
+		Links:   []LinkOutage{{A: 0, B: 1, From: 0, To: time.Second}},
+		Regions: []RegionOutage{{X: 1, Y: 2, Radius: 100, From: 0, To: time.Second}},
+		Loss:    []LossWindow{{From: 0, To: time.Second, Rate: 0.5}},
+	}
+	Apply(s, sched, fnodes, med, Hooks{
+		OnCrash:   func(n int) { crashed = append(crashed, n) },
+		OnRestart: func(n int) { restarted = append(restarted, n) },
+	})
+	s.Run(10 * time.Second)
+
+	if med.links != 1 || med.regions != 1 || med.losses != 1 {
+		t.Fatalf("windows registered: links=%d regions=%d losses=%d", med.links, med.regions, med.losses)
+	}
+	if nodes[1].crashes != 1 || nodes[1].restarts != 1 {
+		t.Fatalf("node 1 transitions: crashes=%d restarts=%d, want 1/1", nodes[1].crashes, nodes[1].restarts)
+	}
+	if nodes[1].down {
+		t.Fatal("node 1 should have restarted")
+	}
+	if !nodes[2].down || nodes[2].crashes != 1 {
+		t.Fatal("node 2 should be permanently down")
+	}
+	if nodes[0].crashes != 0 {
+		t.Fatal("node 0 should be untouched")
+	}
+	if !reflect.DeepEqual(crashed, []int{1, 2}) {
+		t.Fatalf("crash hooks fired for %v, want [1 2]", crashed)
+	}
+	if !reflect.DeepEqual(restarted, []int{1}) {
+		t.Fatalf("restart hooks fired for %v, want [1]", restarted)
+	}
+}

@@ -34,6 +34,11 @@ type Summary struct {
 	LinkBreaks    uint64
 	NoRouteDrops  uint64
 
+	SignFailures  uint64 // control packets dropped at the signer (RNG failure)
+	Crashes       uint64 // fault-injected node crashes
+	Restarts      uint64 // fault-injected node restarts
+	NodeDownDrops uint64 // frames and sends discarded at crashed nodes
+
 	DelaySum   time.Duration
 	DelayCount uint64
 }
@@ -53,6 +58,10 @@ func Collect(nodes []*aodv.Node) Summary {
 		s.AuthRejected += st.AuthRejected
 		s.LinkBreaks += st.DropLinkBreak
 		s.NoRouteDrops += st.DropNoRoute
+		s.SignFailures += st.SignFailures
+		s.Crashes += st.Crashes
+		s.Restarts += st.Restarts
+		s.NodeDownDrops += st.DropNodeDown
 		s.DelaySum += st.DelaySum
 		s.DelayCount += st.DelayCount
 	}
@@ -118,6 +127,10 @@ func Average(runs []Summary) Summary {
 		out.AuthRejected += r.AuthRejected
 		out.LinkBreaks += r.LinkBreaks
 		out.NoRouteDrops += r.NoRouteDrops
+		out.SignFailures += r.SignFailures
+		out.Crashes += r.Crashes
+		out.Restarts += r.Restarts
+		out.NodeDownDrops += r.NodeDownDrops
 		out.DelaySum += r.DelaySum
 		out.DelayCount += r.DelayCount
 	}

@@ -78,6 +78,13 @@ type Medium struct {
 	hand []Handler
 	recv [][]*reception
 
+	// Fault-injection state (see faults.go): powered-off radios and
+	// time-windowed link/region outages and loss degradation.
+	down        []bool
+	linkOutages []linkOutage
+	regOutages  []regionOutage
+	lossWindows []lossWindow
+
 	// Stats is exported for scenario-level reporting.
 	Stats Stats
 }
@@ -90,6 +97,7 @@ func New(s *sim.Simulator, mob mobility.Model, cfg Config) *Medium {
 		cfg:  cfg.withDefaults(),
 		hand: make([]Handler, mob.Nodes()),
 		recv: make([][]*reception, mob.Nodes()),
+		down: make([]bool, mob.Nodes()),
 	}
 }
 
@@ -99,17 +107,29 @@ func (m *Medium) Nodes() int { return m.mob.Nodes() }
 // SetHandler installs the receive callback for a node.
 func (m *Medium) SetHandler(node int, h Handler) { m.hand[node] = h }
 
+// Handler returns the receive callback currently installed for a node, so
+// a layer attached later (e.g. the enrollment protocol) can interpose its
+// own handler and delegate everything it does not recognize.
+func (m *Medium) Handler(node int) Handler { return m.hand[node] }
+
 // Position returns a node's current location.
 func (m *Medium) Position(node int) mobility.Point {
 	return m.mob.Position(node, m.sim.Now())
 }
 
-// InRange reports whether two nodes can currently hear each other.
+// InRange reports whether two nodes can currently hear each other: within
+// radio range, both radios powered, and no fault window severing the link.
 func (m *Medium) InRange(a, b int) bool {
 	if a == b {
 		return false
 	}
-	return m.Position(a).Dist(m.Position(b)) <= m.cfg.Range
+	if m.down[a] || m.down[b] {
+		return false
+	}
+	if m.Position(a).Dist(m.Position(b)) > m.cfg.Range {
+		return false
+	}
+	return !m.linkFaulted(a, b)
 }
 
 // Neighbors returns the nodes currently within range of node.
@@ -147,7 +167,7 @@ func (m *Medium) deliver(from, to int, bytes int, payload any, txStart sim.Time)
 	dist := m.mob.Position(from, txStart).Dist(m.mob.Position(to, txStart))
 	arrive := txStart + m.serialization(bytes) + propagation(dist)
 
-	if m.cfg.LossRate > 0 && m.sim.Rand().Float64() < m.cfg.LossRate {
+	if loss := m.lossAt(txStart); loss > 0 && m.sim.Rand().Float64() < loss {
 		m.Stats.Lost++
 		return
 	}

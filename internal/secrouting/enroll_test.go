@@ -1,0 +1,167 @@
+package secrouting
+
+import (
+	"testing"
+	"time"
+
+	"mccls/internal/mobility"
+	"mccls/internal/radio"
+	"mccls/internal/sim"
+)
+
+// enrollNet builds a static line topology (200 m spacing, default 250 m
+// radio) with the KGC at cfg.KGCNode and every other node as an enrollment
+// client, and starts the protocol.
+func enrollNet(t *testing.T, n int, cfg EnrollConfig) (*sim.Simulator, *radio.Medium, *CostModelAuth, *Enrollment) {
+	t.Helper()
+	s := sim.New(11)
+	pts := make([]mobility.Point, n)
+	for i := range pts {
+		pts[i] = mobility.Point{X: float64(i) * 200, Y: 0}
+	}
+	m := radio.New(s, &mobility.Static{Points: pts}, radio.Config{})
+	auth := NewCostModelAuth()
+	var clients []int
+	for i := 0; i < n; i++ {
+		if i != cfg.KGCNode {
+			clients = append(clients, i)
+		}
+	}
+	e := NewEnrollment(s, m, auth, clients, cfg)
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return s, m, auth, e
+}
+
+func TestEnrollmentHappyPath(t *testing.T) {
+	s, _, auth, e := enrollNet(t, 5, EnrollConfig{KGCNode: 0})
+	s.Run(5 * time.Second)
+	if !e.AllEnrolled() {
+		t.Fatal("not everyone enrolled over a healthy network")
+	}
+	for c := 1; c < 5; c++ {
+		st := e.Stats(c)
+		if st.Attempts != 1 {
+			t.Fatalf("node %d took %d attempts over a healthy network", c, st.Attempts)
+		}
+		if st.Timeouts != 0 {
+			t.Fatalf("node %d timed out with the KGC up", c)
+		}
+		if !auth.Enrolled(c) {
+			t.Fatalf("node %d not enrolled", c)
+		}
+	}
+	if tot := e.Totals(); tot.Successes != 4 {
+		t.Fatalf("Successes = %d, want 4", tot.Successes)
+	}
+}
+
+// TestEnrollmentKGCOutageBackoff is the issue's acceptance test: with the
+// KGC down for the first 30 s, every client retries with capped exponential
+// backoff and all of them enroll after the outage ends; both the retry
+// count and the backoff bound are asserted.
+func TestEnrollmentKGCOutageBackoff(t *testing.T) {
+	cfg := EnrollConfig{
+		KGCNode:     0,
+		Timeout:     500 * time.Millisecond,
+		BackoffBase: time.Second,
+		BackoffCap:  8 * time.Second,
+		JitterFrac:  0.25,
+	}
+	s, m, auth, e := enrollNet(t, 5, cfg)
+
+	// The KGC host crashes immediately: radio dark, signing key lost.
+	m.SetNodeDown(0, true)
+	e.OnCrash(0)
+	s.Schedule(30*time.Second, func() {
+		m.SetNodeDown(0, false)
+		e.OnRestart(0)
+	})
+
+	s.Run(60 * time.Second)
+
+	if !e.AllEnrolled() {
+		t.Fatal("outage ended but enrollment never completed")
+	}
+	if !auth.Enrolled(0) {
+		t.Fatal("restarted KGC did not re-derive its own key")
+	}
+	// With timeout 0.5 s and backoff 1,2,4,8,8,... (jitter ≤ ×1.25), a
+	// client fits at most ~12 attempts in 30 s and needs at least 3 to
+	// outlast the outage; the last pre-restart backoff is ≤ cap·1.25 = 10 s,
+	// so everyone is enrolled well before t=60 s.
+	for c := 1; c < 5; c++ {
+		st := e.Stats(c)
+		if st.Attempts < 3 || st.Attempts > 12 {
+			t.Fatalf("node %d made %d attempts, want 3..12", c, st.Attempts)
+		}
+		if st.Timeouts < 2 {
+			t.Fatalf("node %d saw %d timeouts during a 30 s outage", c, st.Timeouts)
+		}
+		if st.Successes != 1 {
+			t.Fatalf("node %d Successes = %d", c, st.Successes)
+		}
+		maxJittered := time.Duration(float64(cfg.BackoffCap) * (1 + cfg.JitterFrac))
+		if st.MaxBackoff > maxJittered {
+			t.Fatalf("node %d backoff %v exceeds cap bound %v", c, st.MaxBackoff, maxJittered)
+		}
+		if st.MaxBackoff < 2*time.Second {
+			t.Fatalf("node %d backoff never grew past the base: %v", c, st.MaxBackoff)
+		}
+	}
+}
+
+func TestEnrollmentClientCrashReenrolls(t *testing.T) {
+	s, m, auth, e := enrollNet(t, 3, EnrollConfig{KGCNode: 0})
+	s.Run(5 * time.Second)
+	if !auth.Enrolled(2) {
+		t.Fatal("client never enrolled")
+	}
+
+	// Crash: volatile keys are gone immediately.
+	m.SetNodeDown(2, true)
+	e.OnCrash(2)
+	if auth.Enrolled(2) {
+		t.Fatal("crashed client kept its key")
+	}
+	s.Schedule(2*time.Second, func() {
+		m.SetNodeDown(2, false)
+		e.OnRestart(2)
+	})
+
+	s.Run(20 * time.Second)
+	if !auth.Enrolled(2) {
+		t.Fatal("restarted client never re-enrolled")
+	}
+	if st := e.Stats(2); st.Successes != 2 {
+		t.Fatalf("Successes = %d, want 2 (enroll + re-enroll)", st.Successes)
+	}
+}
+
+func TestEnrollmentKGCIgnoresUnregistered(t *testing.T) {
+	// Node 3 is not on the KGC's whitelist (an attacker): it can relay the
+	// flood but a request for its own identity must go unanswered.
+	s := sim.New(11)
+	pts := make([]mobility.Point, 4)
+	for i := range pts {
+		pts[i] = mobility.Point{X: float64(i) * 200, Y: 0}
+	}
+	m := radio.New(s, &mobility.Static{Points: pts}, radio.Config{})
+	auth := NewCostModelAuth()
+	e := NewEnrollment(s, m, auth, []int{1, 2}, EnrollConfig{KGCNode: 0})
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	e.onRequest(0, EnrollRequest{Node: 3, Attempt: 0, TTL: 12, Sender: 3})
+	s.Run(5 * time.Second)
+	if auth.Enrolled(3) {
+		t.Fatal("unregistered identity got a key")
+	}
+	if !auth.Enrolled(1) || !auth.Enrolled(2) {
+		t.Fatal("registered clients failed to enroll")
+	}
+	if e.Stats(0).RepliesSent != 2 {
+		t.Fatalf("KGC sent %d replies for 2 registered clients", e.Stats(0).RepliesSent)
+	}
+}

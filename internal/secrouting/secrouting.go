@@ -39,6 +39,16 @@ import (
 const (
 	DefaultSignLatency   = 50 * time.Microsecond
 	DefaultVerifyLatency = 2 * time.Millisecond
+
+	// DefaultParseLatency is charged for rejecting a malformed tag:
+	// the receiver still burns cycles on the length check and the two
+	// deserialization attempts (P_ID point decode with on-curve check,
+	// signature decode) before it can refuse. That work is ~1 µs on the
+	// reference host — three orders of magnitude below a verification —
+	// but modelling it as literally free would make a garbage-flood DoS
+	// cost the victim nothing at all in the simulation. Rounded up with
+	// the same ~1.5× headroom convention as the sign/verify figures.
+	DefaultParseLatency = 2 * time.Microsecond
 )
 
 // NodeIdentity maps a simulator node index to its McCLS identity string.
@@ -53,9 +63,11 @@ type McCLSAuth struct {
 	keys map[int]*core.PrivateKey
 
 	// SignLatency and VerifyLatency are the virtual-time processing
-	// delays charged per operation.
+	// delays charged per operation; ParseLatency is charged for
+	// rejecting a malformed tag before any curve arithmetic runs.
 	SignLatency   time.Duration
 	VerifyLatency time.Duration
+	ParseLatency  time.Duration
 
 	rng io.Reader
 }
@@ -75,6 +87,7 @@ func NewMcCLSAuth(rng io.Reader) (*McCLSAuth, error) {
 		keys:          make(map[int]*core.PrivateKey),
 		SignLatency:   DefaultSignLatency,
 		VerifyLatency: DefaultVerifyLatency,
+		ParseLatency:  DefaultParseLatency,
 		rng:           rng,
 	}, nil
 }
@@ -91,40 +104,45 @@ func (a *McCLSAuth) Enroll(node int) error {
 	return nil
 }
 
+// Unenroll discards node's key material. Crash injection uses this under
+// online enrollment: keys live in volatile memory, so a restarted node
+// comes back unenrolled and must re-enroll through the KGC.
+func (a *McCLSAuth) Unenroll(node int) { delete(a.keys, node) }
+
 // Enrolled reports whether node holds a key.
 func (a *McCLSAuth) Enrolled(node int) bool { return a.keys[node] != nil }
 
 // Sign produces pubkey‖signature over payload. Unenrolled nodes emit a
 // syntactically valid but cryptographically worthless tag at zero cost
-// (an attacker does no real work).
-func (a *McCLSAuth) Sign(node int, payload []byte) ([]byte, time.Duration) {
+// (an attacker does no real work). A randomness failure is reported as an
+// error — there is no tag worth transmitting — and the caller counts it.
+func (a *McCLSAuth) Sign(node int, payload []byte) ([]byte, time.Duration, error) {
 	sk, ok := a.keys[node]
 	if !ok {
-		return make([]byte, 64+core.SignatureSize), 0
+		return make([]byte, 64+core.SignatureSize), 0, nil
 	}
 	sig, err := core.Sign(a.kgc.Params(), sk, payload, a.rng)
 	if err != nil {
-		// Randomness failure: emit an unverifiable tag rather than
-		// panicking mid-simulation; the packet will be rejected.
-		return make([]byte, 64+core.SignatureSize), a.SignLatency
+		return nil, 0, fmt.Errorf("secrouting: sign as node %d: %w", node, err)
 	}
 	out := append(sk.Public().PID.Marshal(), sig.Marshal()...)
-	return out, a.SignLatency
+	return out, a.SignLatency, nil
 }
 
 // Verify checks the tag against the identity derived from the transmitting
-// node's index.
+// node's index. Malformed tags are rejected before any curve arithmetic,
+// but the deserialization attempt itself is charged at ParseLatency.
 func (a *McCLSAuth) Verify(node int, payload, auth []byte) (bool, time.Duration) {
 	if len(auth) != 64+core.SignatureSize {
-		return false, 0 // malformed: rejected before any crypto
+		return false, a.ParseLatency
 	}
 	pk, err := reassemblePublicKey(NodeIdentity(node), auth[:64])
 	if err != nil {
-		return false, 0
+		return false, a.ParseLatency
 	}
 	sig, err := core.UnmarshalSignature(auth[64:])
 	if err != nil {
-		return false, 0
+		return false, a.ParseLatency
 	}
 	return a.vf.Verify(pk, payload, sig) == nil, a.VerifyLatency
 }
@@ -151,6 +169,7 @@ func (a *McCLSAuth) Overhead() int { return 64 + core.SignatureSize }
 type CostModelAuth struct {
 	SignLatency   time.Duration
 	VerifyLatency time.Duration
+	ParseLatency  time.Duration
 	OverheadBytes int
 
 	authorized map[int]bool
@@ -165,14 +184,22 @@ func NewCostModelAuth() *CostModelAuth {
 	return &CostModelAuth{
 		SignLatency:   DefaultSignLatency,
 		VerifyLatency: DefaultVerifyLatency,
+		ParseLatency:  DefaultParseLatency,
 		OverheadBytes: 64 + core.SignatureSize,
 		authorized:    make(map[int]bool),
 		secret:        [16]byte{0x4d, 0x63, 0x43, 0x4c, 0x53}, // stand-in for the KGC trust root
 	}
 }
 
-// Enroll authorizes a node.
-func (a *CostModelAuth) Enroll(node int) { a.authorized[node] = true }
+// Enroll authorizes a node. The error is always nil; the signature matches
+// McCLSAuth.Enroll so both satisfy the enrollment Authority interface.
+func (a *CostModelAuth) Enroll(node int) error {
+	a.authorized[node] = true
+	return nil
+}
+
+// Unenroll revokes a node's authorization (crash under online enrollment).
+func (a *CostModelAuth) Unenroll(node int) { delete(a.authorized, node) }
 
 // Enrolled reports whether node is authorized.
 func (a *CostModelAuth) Enrolled(node int) bool { return a.authorized[node] }
@@ -188,18 +215,20 @@ func (a *CostModelAuth) tag(node int, payload []byte) []byte {
 }
 
 // Sign emits the keyed digest for enrolled nodes and an all-zero tag for
-// attackers (who cannot compute it and spend no time trying).
-func (a *CostModelAuth) Sign(node int, payload []byte) ([]byte, time.Duration) {
+// attackers (who cannot compute it and spend no time trying). The digest
+// cannot fail, so the error is always nil.
+func (a *CostModelAuth) Sign(node int, payload []byte) ([]byte, time.Duration, error) {
 	if !a.authorized[node] {
-		return make([]byte, sha256.Size), 0
+		return make([]byte, sha256.Size), 0, nil
 	}
-	return a.tag(node, payload), a.SignLatency
+	return a.tag(node, payload), a.SignLatency, nil
 }
 
-// Verify recomputes the digest.
+// Verify recomputes the digest. Malformed tags cost ParseLatency, mirroring
+// McCLSAuth.
 func (a *CostModelAuth) Verify(node int, payload, auth []byte) (bool, time.Duration) {
 	if len(auth) != sha256.Size {
-		return false, 0
+		return false, a.ParseLatency
 	}
 	want := a.tag(node, payload)
 	for i := range want {

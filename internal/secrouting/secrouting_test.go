@@ -2,6 +2,8 @@ package secrouting
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"math/rand"
 	"testing"
 
@@ -23,7 +25,10 @@ func TestMcCLSAuthRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	payload := []byte("RREQ id=9 origin=3")
-	tag, d := a.Sign(3, payload)
+	tag, d, err := a.Sign(3, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if d != DefaultSignLatency {
 		t.Fatalf("sign delay = %v", d)
 	}
@@ -45,7 +50,7 @@ func TestMcCLSAuthRejectsTamperedPayload(t *testing.T) {
 		t.Fatal(err)
 	}
 	payload := []byte("RREP dest=4 seq=7 hops=2")
-	tag, _ := a.Sign(1, payload)
+	tag, _, _ := a.Sign(1, payload)
 	tampered := bytes.Clone(payload)
 	tampered[5] ^= 0xFF // e.g. a rushed/modified hop count
 	if ok, _ := a.Verify(1, tampered, tag); ok {
@@ -61,7 +66,10 @@ func TestMcCLSAuthRejectsUnenrolled(t *testing.T) {
 	payload := []byte("forged RREP")
 	// The attacker (node 9, never enrolled) emits a well-sized tag that
 	// cannot verify.
-	tag, d := a.Sign(9, payload)
+	tag, d, err := a.Sign(9, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if d != 0 {
 		t.Fatal("attacker charged crypto time for garbage tag")
 	}
@@ -84,7 +92,7 @@ func TestMcCLSAuthRejectsCrossNodeTag(t *testing.T) {
 		}
 	}
 	payload := []byte("hello")
-	tag, _ := a.Sign(1, payload)
+	tag, _, _ := a.Sign(1, payload)
 	// A valid tag from node 1 must not verify as node 2 (identity is bound
 	// through H1 and H2).
 	if ok, _ := a.Verify(2, payload, tag); ok {
@@ -117,8 +125,8 @@ func TestCostModelAuthMirrorsRealBehaviour(t *testing.T) {
 	for _, p := range payloads {
 		// enrolled nodes, intact payload → both accept
 		for _, n := range []int{0, 1} {
-			rt, _ := real.Sign(n, p)
-			mt, _ := model.Sign(n, p)
+			rt, _, _ := real.Sign(n, p)
+			mt, _, _ := model.Sign(n, p)
 			rok, _ := real.Verify(n, p, rt)
 			mok, _ := model.Verify(n, p, mt)
 			if !rok || !mok {
@@ -133,8 +141,8 @@ func TestCostModelAuthMirrorsRealBehaviour(t *testing.T) {
 			}
 		}
 		// attacker (node 9) → both reject
-		rt, _ := real.Sign(9, p)
-		mt, _ := model.Sign(9, p)
+		rt, _, _ := real.Sign(9, p)
+		mt, _, _ := model.Sign(9, p)
 		rok, _ := real.Verify(9, p, rt)
 		mok, _ := model.Verify(9, p, mt)
 		if rok || mok {
@@ -146,15 +154,15 @@ func TestCostModelAuthMirrorsRealBehaviour(t *testing.T) {
 func TestCostModelLatencies(t *testing.T) {
 	a := NewCostModelAuth()
 	a.Enroll(0)
-	if _, d := a.Sign(0, []byte("x")); d != DefaultSignLatency {
+	if _, d, _ := a.Sign(0, []byte("x")); d != DefaultSignLatency {
 		t.Fatalf("sign latency %v", d)
 	}
-	tag, _ := a.Sign(0, []byte("x"))
+	tag, _, _ := a.Sign(0, []byte("x"))
 	if _, d := a.Verify(0, []byte("x"), tag); d != DefaultVerifyLatency {
 		t.Fatalf("verify latency %v", d)
 	}
 	// Attackers pay nothing to emit garbage.
-	if _, d := a.Sign(5, []byte("x")); d != 0 {
+	if _, d, _ := a.Sign(5, []byte("x")); d != 0 {
 		t.Fatal("attacker charged sign latency")
 	}
 	if a.Overhead() <= 0 {
@@ -173,3 +181,90 @@ var (
 	_ aodv.Authenticator = (*McCLSAuth)(nil)
 	_ aodv.Authenticator = (*CostModelAuth)(nil)
 )
+
+// flakyReader is an RNG that can be switched into a failing state.
+type flakyReader struct {
+	fail bool
+	r    io.Reader
+}
+
+func (f *flakyReader) Read(p []byte) (int, error) {
+	if f.fail {
+		return 0, errors.New("entropy source wedged")
+	}
+	return f.r.Read(p)
+}
+
+func TestSignReportsRandomnessFailure(t *testing.T) {
+	fr := &flakyReader{r: rand.New(rand.NewSource(1))}
+	a, err := NewMcCLSAuth(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Enroll(1); err != nil {
+		t.Fatal(err)
+	}
+	fr.fail = true
+	if _, _, err := a.Sign(1, []byte("RREQ")); err == nil {
+		t.Fatal("sign with a failing RNG must return an error, not a garbage tag")
+	}
+	// Unenrolled senders never touch the RNG: still zero-cost garbage.
+	if tag, d, err := a.Sign(9, []byte("RREQ")); err != nil || d != 0 || len(tag) != a.Overhead() {
+		t.Fatal("unenrolled path must not depend on the RNG")
+	}
+	fr.fail = false
+	if _, _, err := a.Sign(1, []byte("RREQ")); err != nil {
+		t.Fatalf("recovered RNG still failing: %v", err)
+	}
+}
+
+func TestMalformedTagChargesParseLatency(t *testing.T) {
+	real := newRealAuth(t)
+	if err := real.Enroll(1); err != nil {
+		t.Fatal(err)
+	}
+	model := NewCostModelAuth()
+	model.Enroll(1)
+	// Wrong-length tags are rejected before any crypto, but the length
+	// check plus decode attempt is not free: DefaultParseLatency, exactly.
+	for _, tag := range [][]byte{nil, {1, 2, 3}, make([]byte, 200)} {
+		if ok, d := real.Verify(1, []byte("m"), tag); ok || d != DefaultParseLatency {
+			t.Fatalf("McCLSAuth malformed len %d: ok=%v delay=%v", len(tag), ok, d)
+		}
+		if ok, d := model.Verify(1, []byte("m"), tag); ok || d != DefaultParseLatency {
+			t.Fatalf("CostModelAuth malformed len %d: ok=%v delay=%v", len(tag), ok, d)
+		}
+	}
+	// A right-sized tag that fails point decode also costs only parse time.
+	if ok, d := real.Verify(1, []byte("m"), make([]byte, real.Overhead())); ok || d != DefaultParseLatency {
+		t.Fatalf("undecodable tag: ok=%v delay=%v", ok, d)
+	}
+}
+
+// FuzzVerifyAuth throws arbitrary tag bytes at the real verifier: it must
+// never panic, never accept a wrong-sized tag, and always charge a delay in
+// [0, VerifyLatency].
+func FuzzVerifyAuth(f *testing.F) {
+	a, err := NewMcCLSAuth(rand.New(rand.NewSource(1)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := a.Enroll(1); err != nil {
+		f.Fatal(err)
+	}
+	payload := []byte("RREQ id=9 origin=3")
+	valid, _, _ := a.Sign(1, payload)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(make([]byte, a.Overhead()))
+	f.Fuzz(func(t *testing.T, tag []byte) {
+		ok, d := a.Verify(1, payload, tag)
+		if d < 0 || d > a.VerifyLatency {
+			t.Fatalf("delay %v outside [0, %v]", d, a.VerifyLatency)
+		}
+		if ok && len(tag) != a.Overhead() {
+			t.Fatalf("accepted a tag of length %d", len(tag))
+		}
+	})
+}

@@ -26,7 +26,9 @@ import (
 	"io"
 
 	"mccls/internal/experiments"
+	"mccls/internal/fault"
 	"mccls/internal/metrics"
+	"mccls/internal/secrouting"
 )
 
 // Core types, aliased from the implementation.
@@ -63,7 +65,35 @@ type (
 	AttackMode = experiments.AttackMode
 	// Table1Row is one scheme's Table 1 entry with measured timings.
 	Table1Row = experiments.Table1Row
+
+	// ResilienceConfig drives the churn sweep (figures 7–8): plain AODV vs
+	// McCLS-AODV with online enrollment as crash/restart events grow.
+	ResilienceConfig = experiments.ResilienceConfig
+	// FaultSchedule is an explicit fault-injection plan for one run:
+	// node crashes, link/region outages and loss windows.
+	FaultSchedule = fault.Schedule
+	// Crash is one node crash (and optional restart) in a FaultSchedule.
+	Crash = fault.Crash
+	// LinkOutage silences one link for a time window.
+	LinkOutage = fault.LinkOutage
+	// RegionOutage silences every link crossing a disk for a time window.
+	RegionOutage = fault.RegionOutage
+	// LossWindow raises the frame-loss probability for a time window.
+	LossWindow = fault.LossWindow
+	// ChurnConfig parameterizes a randomly drawn crash/restart schedule.
+	ChurnConfig = fault.ChurnConfig
+	// EnrollConfig parameterizes the online in-network KGC enrollment
+	// protocol (timeout, capped exponential backoff, flood TTL).
+	EnrollConfig = secrouting.EnrollConfig
+	// EnrollStats counts enrollment attempts, timeouts, successes and the
+	// largest backoff any node waited.
+	EnrollStats = secrouting.EnrollStats
 )
+
+// Churn draws a random crash/restart schedule: cfg.Events crashes over
+// cfg.Duration with restarts after an exponential-ish downtime. The result
+// is a pure function of the rng stream, so one seed gives one timeline.
+var Churn = fault.Churn
 
 // Security modes.
 const (
@@ -102,6 +132,12 @@ var (
 	Figure4   = experiments.Figure4   // Packet Delivery Ratio under attack
 	Figure5   = experiments.Figure5   // Packet Drop Ratio under attack
 	FigureDSR = experiments.FigureDSR // extension: drop ratio on the DSR substrate
+
+	// FigureResilience (fig7) and FigureResilienceOverhead (fig8) sweep
+	// node churn instead of speed: delivery and control overhead for plain
+	// AODV vs the full McCLS stack re-enrolling through an in-network KGC.
+	FigureResilience         = experiments.FigureResilience
+	FigureResilienceOverhead = experiments.FigureResilienceOverhead
 )
 
 // Table1 regenerates the paper's scheme-comparison table with measured
