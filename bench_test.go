@@ -411,3 +411,32 @@ func BenchmarkAblationHello(b *testing.B) {
 // BenchmarkFigureDSR regenerates the DSR generality extension figure
 // (packet drop ratio under attack, DSR substrate).
 func BenchmarkFigureDSR(b *testing.B) { benchFigure(b, manet.FigureDSR) }
+
+// BenchmarkAblationSpatialIndex runs the same 500-node city scenario with
+// the naive O(n) neighbor scan and with the uniform-grid spatial index.
+// Results are bit-identical (the grid is pinned against the naive scan by
+// differential tests); only the wall clock moves. The events/sec gap here
+// is the simulator-level view of the BenchmarkNeighbors/BenchmarkBroadcastWave
+// kernel numbers.
+func BenchmarkAblationSpatialIndex(b *testing.B) {
+	run := func(b *testing.B, noIndex bool) {
+		var evPerSec float64
+		for i := 0; i < b.N; i++ {
+			sc := manet.Scenario{
+				Nodes: 500, Width: 2000, Height: 2000,
+				Mobility: manet.Manhattan, MaxSpeed: 10, RangeJitter: 0.3,
+				Duration: 20 * time.Second, Seed: 1,
+			}
+			sc.Radio.NoIndex = noIndex
+			start := time.Now()
+			res, err := sc.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			evPerSec = float64(res.Events) / time.Since(start).Seconds()
+		}
+		b.ReportMetric(evPerSec, "events/sec")
+	}
+	b.Run("naive", func(b *testing.B) { run(b, true) })
+	b.Run("grid", func(b *testing.B) { run(b, false) })
+}

@@ -2,17 +2,20 @@
 // 1–5 plus the DSR extension): AODV vs McCLS-AODV across node speed, with
 // and without 2-node black hole and rushing attacks. Figures 7–8 are the
 // resilience extension: delivery and control overhead under node churn,
-// with the McCLS curve enrolling online through an in-network KGC. Every
+// with the McCLS curve enrolling online through an in-network KGC. Figures
+// 9–10 are the city-scale extension: delivery and overhead versus node
+// count on a Manhattan street grid with heterogeneous radio ranges. Every
 // sweep point and repeat of a figure runs concurrently on a bounded worker
 // pool; output is bit-identical at any -parallel value.
 //
 // Usage:
 //
 //	manetsim -fig 1                     # one figure
-//	manetsim -all                       # all five + DSR + resilience
+//	manetsim -all                       # all five + DSR + resilience + city
 //	manetsim -fig 5 -csv                # machine-readable output
 //	manetsim -fig 3 -duration 900s -repeats 5 -seed 42
 //	manetsim -fig 7 -churn 0,2,4        # churn sweep, custom x-axis
+//	manetsim -fig 9 -citynodes 100,500,2000  # city sweep, custom x-axis
 //	manetsim -all -parallel 8 -progress # 8 workers, per-trial progress
 //	manetsim -all -timeout 2m -json BENCH_manet.json
 package main
@@ -40,32 +43,58 @@ func main() {
 
 // figStats is one figure's entry in the -json dump: wall-clock for the
 // whole figure plus the trial-level observability the runner collected.
+// PeakQueue, GridCells and GridMaxOccupancy are maxima over the figure's
+// trials; GridRebuilds/GridQueries/GridCandidates are sums, so their ratio
+// is the effective per-lookup work the spatial index paid.
 type figStats struct {
-	Figure       string  `json:"figure"`
-	WallMs       float64 `json:"wall_ms"`
-	Trials       int     `json:"trials"`
-	TrialWallMs  float64 `json:"trial_wall_ms_total"`
-	Events       uint64  `json:"events"`
-	EventsPerSec float64 `json:"events_per_sec"`
+	Figure           string  `json:"figure"`
+	WallMs           float64 `json:"wall_ms"`
+	Trials           int     `json:"trials"`
+	TrialWallMs      float64 `json:"trial_wall_ms_total"`
+	Events           uint64  `json:"events"`
+	EventsPerSec     float64 `json:"events_per_sec"`
+	PeakQueue        int     `json:"peak_queue"`
+	GridCells        int     `json:"grid_cells"`
+	GridMaxOccupancy int     `json:"grid_max_occupancy"`
+	GridRebuilds     uint64  `json:"grid_rebuilds"`
+	GridQueries      uint64  `json:"grid_queries"`
+	GridCandidates   uint64  `json:"grid_candidates"`
+}
+
+// mediumAblation records the spatial-index headline number: the same
+// 500-node broadcast-wave workload timed through the naive O(n²) medium
+// and through the grid index. Both passes process the identical event
+// sequence (the index is pinned to the naive oracle), so the speedup is
+// purely the neighbor-lookup win.
+type mediumAblation struct {
+	Nodes             int     `json:"nodes"`
+	Waves             int     `json:"waves"`
+	Events            uint64  `json:"events"`
+	NaiveEventsPerSec float64 `json:"naive_events_per_sec"`
+	GridEventsPerSec  float64 `json:"grid_events_per_sec"`
+	Speedup           float64 `json:"speedup"`
 }
 
 // benchReport is the schema of BENCH_manet.json: enough context to compare
 // sweep runs across machines and worker counts.
 type benchReport struct {
-	GoVersion   string     `json:"go_version"`
-	GOARCH      string     `json:"goarch"`
-	NumCPU      int        `json:"num_cpu"`
-	Workers     int        `json:"workers"`
-	Timestamp   string     `json:"timestamp"`
-	Figures     []figStats `json:"figures"`
-	TotalWallMs float64    `json:"total_wall_ms"`
+	GoVersion      string          `json:"go_version"`
+	GOARCH         string          `json:"goarch"`
+	NumCPU         int             `json:"num_cpu"`
+	Workers        int             `json:"workers"`
+	Nodes          int             `json:"nodes"`
+	CityNodes      []int           `json:"city_nodes,omitempty"`
+	Timestamp      string          `json:"timestamp"`
+	Figures        []figStats      `json:"figures"`
+	MediumAblation *mediumAblation `json:"medium_ablation,omitempty"`
+	TotalWallMs    float64         `json:"total_wall_ms"`
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("manetsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	fig := fs.Int("fig", 0, "figure to regenerate (1-5; 6 = DSR extension; 7-8 = churn resilience)")
-	all := fs.Bool("all", false, "regenerate all figures including the DSR and resilience extensions")
+	fig := fs.Int("fig", 0, "figure to regenerate (1-5; 6 = DSR extension; 7-8 = churn resilience; 9-10 = city scale)")
+	all := fs.Bool("all", false, "regenerate all figures including the DSR, resilience and city-scale extensions")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	duration := fs.Duration("duration", 300*time.Second, "simulated time per run")
 	repeats := fs.Int("repeats", 3, "seeds averaged per sweep point")
@@ -73,6 +102,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	speeds := fs.String("speeds", "1,5,10,15,20", "comma-separated node speeds (m/s)")
 	churn := fs.String("churn", "0,1,2,3,4", "comma-separated crash/restart event counts (figures 7-8)")
 	nodes := fs.Int("nodes", 20, "number of nodes")
+	cityNodes := fs.String("citynodes", "100,200,500", "comma-separated node counts swept by the city-scale figures 9-10")
 	flows := fs.Int("flows", 10, "CBR flows")
 	parallel := fs.Int("parallel", 0, "trial worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	timeout := fs.Duration("timeout", 0, "per-trial wall-clock deadline (0 = none)")
@@ -82,15 +112,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	if !*all && (*fig < 1 || *fig > 8) {
+	if !*all && (*fig < 1 || *fig > 10) {
 		fs.Usage()
-		return fmt.Errorf("pass -fig 1..8 or -all")
+		return fmt.Errorf("pass -fig 1..10 or -all")
+	}
+	if *nodes < 2 {
+		return fmt.Errorf("-nodes %d: need at least 2 nodes", *nodes)
+	}
+	if *flows < 1 {
+		return fmt.Errorf("-flows %d: need at least 1 flow", *flows)
 	}
 	speedVals, err := parseSpeeds(*speeds)
 	if err != nil {
 		return err
 	}
 	churnVals, err := parseChurn(*churn)
+	if err != nil {
+		return err
+	}
+	cityVals, err := parseNodes(*cityNodes)
 	if err != nil {
 		return err
 	}
@@ -109,6 +149,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 			st.Trials++
 			st.TrialWallMs += float64(u.Wall) / float64(time.Millisecond)
 			st.Events += u.Events
+			st.PeakQueue = max(st.PeakQueue, u.PeakQueue)
+			st.GridCells = max(st.GridCells, u.GridCells)
+			st.GridMaxOccupancy = max(st.GridMaxOccupancy, u.GridOccupancy)
+			st.GridRebuilds += u.GridRebuilds
+			st.GridQueries += u.GridQueries
+			st.GridCandidates += u.GridCandidates
 			if *progress {
 				status := "ok"
 				if u.Err != nil {
@@ -134,19 +180,34 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Progress:     cfg.Progress,
 	}
 
+	// Figures 9–10 sweep node count at city scale: Manhattan streets,
+	// heterogeneous radio ranges. -nodes does not apply (the axis is the
+	// node count); -duration, -flows and the pool options carry over.
+	ccfg := manet.CityConfig{
+		Base:         manet.Scenario{Duration: *duration, Flows: *flows},
+		Nodes:        cityVals,
+		Repeats:      *repeats,
+		Seed:         *seed,
+		Workers:      *parallel,
+		TrialTimeout: *timeout,
+		Progress:     cfg.Progress,
+	}
+
 	gens := map[int]func() (manet.Figure, error){
-		1: func() (manet.Figure, error) { return manet.Figure1(cfg) },
-		2: func() (manet.Figure, error) { return manet.Figure2(cfg) },
-		3: func() (manet.Figure, error) { return manet.Figure3(cfg) },
-		4: func() (manet.Figure, error) { return manet.Figure4(cfg) },
-		5: func() (manet.Figure, error) { return manet.Figure5(cfg) },
-		6: func() (manet.Figure, error) { return manet.FigureDSR(cfg) },                 // extension: DSR substrate
-		7: func() (manet.Figure, error) { return manet.FigureResilience(rcfg) },         // extension: PDR under churn
-		8: func() (manet.Figure, error) { return manet.FigureResilienceOverhead(rcfg) }, // extension: overhead under churn
+		1:  func() (manet.Figure, error) { return manet.Figure1(cfg) },
+		2:  func() (manet.Figure, error) { return manet.Figure2(cfg) },
+		3:  func() (manet.Figure, error) { return manet.Figure3(cfg) },
+		4:  func() (manet.Figure, error) { return manet.Figure4(cfg) },
+		5:  func() (manet.Figure, error) { return manet.Figure5(cfg) },
+		6:  func() (manet.Figure, error) { return manet.FigureDSR(cfg) },                 // extension: DSR substrate
+		7:  func() (manet.Figure, error) { return manet.FigureResilience(rcfg) },         // extension: PDR under churn
+		8:  func() (manet.Figure, error) { return manet.FigureResilienceOverhead(rcfg) }, // extension: overhead under churn
+		9:  func() (manet.Figure, error) { return manet.FigureCityPDR(ccfg) },            // extension: PDR at city scale
+		10: func() (manet.Figure, error) { return manet.FigureCityOverhead(ccfg) },       // extension: overhead at city scale
 	}
 	which := []int{*fig}
 	if *all {
-		which = []int{1, 2, 3, 4, 5, 6, 7, 8}
+		which = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 	}
 
 	workers := *parallel
@@ -158,7 +219,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
 		Workers:   workers,
+		Nodes:     *nodes,
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, id := range which {
+		if id == 9 || id == 10 {
+			report.CityNodes = cityVals
+			break
+		}
 	}
 	allStart := time.Now()
 	for _, id := range which {
@@ -184,6 +252,33 @@ func run(args []string, stdout, stderr io.Writer) error {
 		report.Figures = append(report.Figures, st)
 	}
 	report.TotalWallMs = float64(time.Since(allStart)) / float64(time.Millisecond)
+
+	// The city-scale figures ship with the medium ablation: 500-node
+	// broadcast waves, naive scan vs spatial index. The rendered line is
+	// suppressed under -csv so serial/parallel CSV diffs stay byte-equal
+	// (wall-clock numbers are machine-dependent).
+	for _, id := range which {
+		if id != 9 && id != 10 {
+			continue
+		}
+		ab, err := manet.RunMediumAblation(500, 20)
+		if err != nil {
+			return err
+		}
+		report.MediumAblation = &mediumAblation{
+			Nodes:             ab.Nodes,
+			Waves:             ab.Waves,
+			Events:            ab.Events,
+			NaiveEventsPerSec: ab.NaiveEventsPerSec,
+			GridEventsPerSec:  ab.GridEventsPerSec,
+			Speedup:           ab.Speedup,
+		}
+		if !*csv {
+			fmt.Fprintf(stdout, "medium ablation (%d-node broadcast waves): naive %.0f ev/s, grid %.0f ev/s — %.1fx\n\n",
+				ab.Nodes, ab.NaiveEventsPerSec, ab.GridEventsPerSec, ab.Speedup)
+		}
+		break
+	}
 
 	if *jsonPath != "" {
 		blob, err := json.MarshalIndent(&report, "", "  ")
@@ -214,6 +309,29 @@ func parseSpeeds(s string) ([]float64, error) {
 		}
 		if seen[v] {
 			return nil, fmt.Errorf("duplicate speed %g", v)
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseNodes parses the -citynodes list under the same rules as parseSpeeds:
+// a node count below 2 cannot form a network, and a duplicate would silently
+// double-count a sweep point.
+func parseNodes(s string) ([]int, error) {
+	var out []int
+	seen := map[int]bool{}
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad node count %q: %w", part, err)
+		}
+		if v < 2 {
+			return nil, fmt.Errorf("node count %q must be at least 2", part)
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("duplicate node count %d", v)
 		}
 		seen[v] = true
 		out = append(out, v)

@@ -45,7 +45,7 @@ func TestRunRequiresFigureSelection(t *testing.T) {
 	if err := run(nil, new(strings.Builder), new(strings.Builder)); err == nil {
 		t.Fatal("no -fig/-all accepted")
 	}
-	if err := run([]string{"-fig", "9"}, new(strings.Builder), new(strings.Builder)); err == nil {
+	if err := run([]string{"-fig", "11"}, new(strings.Builder), new(strings.Builder)); err == nil {
 		t.Fatal("out-of-range -fig accepted")
 	}
 	if err := run([]string{"-fig", "1", "-speeds", "5,5"}, new(strings.Builder), new(strings.Builder)); err == nil {
@@ -53,6 +53,97 @@ func TestRunRequiresFigureSelection(t *testing.T) {
 	}
 	if err := run([]string{"-fig", "7", "-churn", "0,-1"}, new(strings.Builder), new(strings.Builder)); err == nil {
 		t.Fatal("negative churn accepted")
+	}
+	if err := run([]string{"-fig", "1", "-nodes", "0"}, new(strings.Builder), new(strings.Builder)); err == nil {
+		t.Fatal("non-positive -nodes accepted")
+	}
+	if err := run([]string{"-fig", "1", "-nodes", "-20"}, new(strings.Builder), new(strings.Builder)); err == nil {
+		t.Fatal("negative -nodes accepted")
+	}
+	if err := run([]string{"-fig", "1", "-flows", "0"}, new(strings.Builder), new(strings.Builder)); err == nil {
+		t.Fatal("non-positive -flows accepted")
+	}
+	if err := run([]string{"-fig", "9", "-citynodes", "1,50"}, new(strings.Builder), new(strings.Builder)); err == nil {
+		t.Fatal("sub-minimum city node count accepted")
+	}
+}
+
+func TestParseNodes(t *testing.T) {
+	got, err := parseNodes("100, 500,2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{100, 500, 2000}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	for name, input := range map[string]string{
+		"malformed": "100,x",
+		"one-node":  "1",
+		"zero":      "0,100",
+		"negative":  "-100",
+		"duplicate": "100,100",
+	} {
+		if _, err := parseNodes(input); err == nil {
+			t.Fatalf("%s: accepted %q", name, input)
+		}
+	}
+}
+
+// TestRunFig9EndToEnd drives the CLI through a tiny city-scale sweep and
+// checks the CSV carries the nodes axis and the JSON dump carries the
+// spatial-index and event-queue observability.
+func TestRunFig9EndToEnd(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_manet.json")
+	var stdout, stderr strings.Builder
+	err := run([]string{
+		"-fig", "9",
+		"-duration", "10s",
+		"-citynodes", "20,30",
+		"-repeats", "2",
+		"-parallel", "4",
+		"-csv",
+		"-json", jsonPath,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.HasPrefix(out, "nodes,AODV,AODV ci95,McCLS,McCLS ci95\n") {
+		t.Fatalf("unexpected CSV header:\n%s", out)
+	}
+	if !strings.Contains(out, "\n20,") || !strings.Contains(out, "\n30,") {
+		t.Fatalf("nodes axis rows missing:\n%s", out)
+	}
+
+	blob, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("BENCH_manet.json malformed: %v", err)
+	}
+	if rep.Nodes != 20 || len(rep.CityNodes) != 2 || rep.CityNodes[1] != 30 {
+		t.Fatalf("report header wrong: %+v", rep)
+	}
+	fs := rep.Figures[0]
+	if fs.Figure != "fig9" || fs.PeakQueue == 0 || fs.GridQueries == 0 ||
+		fs.GridRebuilds == 0 || fs.GridCells == 0 || fs.GridMaxOccupancy == 0 {
+		t.Fatalf("figure observability missing: %+v", fs)
+	}
+	ab := rep.MediumAblation
+	if ab == nil {
+		t.Fatal("city figure report missing medium ablation")
+	}
+	if ab.Nodes != 500 || ab.Events == 0 || ab.NaiveEventsPerSec <= 0 ||
+		ab.GridEventsPerSec <= ab.NaiveEventsPerSec || ab.Speedup <= 1 {
+		t.Fatalf("medium ablation implausible: %+v", ab)
 	}
 }
 

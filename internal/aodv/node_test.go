@@ -203,6 +203,14 @@ func TestDisableIntermediateReply(t *testing.T) {
 type breakableLink struct{}
 
 func (*breakableLink) Nodes() int { return 3 }
+
+// Leg reports no trajectory information, exercising the radio medium's
+// per-instant spatial-index fallback.
+func (m *breakableLink) Leg(node int, ts time.Duration) (from, to mobility.Point, t0, t1 time.Duration) {
+	p := m.Position(node, ts)
+	return p, p, ts, ts
+}
+
 func (*breakableLink) Position(node int, ts time.Duration) mobility.Point {
 	switch node {
 	case 0:

@@ -101,6 +101,14 @@ func TestDiscoveryFailure(t *testing.T) {
 type dsrBreakable struct{}
 
 func (*dsrBreakable) Nodes() int { return 3 }
+
+// Leg reports no trajectory information, exercising the radio medium's
+// per-instant spatial-index fallback.
+func (m *dsrBreakable) Leg(node int, ts time.Duration) (from, to mobility.Point, t0, t1 time.Duration) {
+	p := m.Position(node, ts)
+	return p, p, ts, ts
+}
+
 func (*dsrBreakable) Position(node int, ts time.Duration) mobility.Point {
 	switch node {
 	case 0:

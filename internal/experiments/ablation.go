@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mccls/internal/mobility"
+	"mccls/internal/radio"
+	"mccls/internal/sim"
+)
+
+// MediumAblationResult quantifies the spatial-index refactor at the medium
+// level: the same broadcast-wave workload — every node floods once per wave
+// and all deliveries drain — timed against the naive O(n) per-lookup scan
+// (O(n²) per wave) and against the uniform-grid index. The grid is pinned
+// bit-identical to the naive scan, so both passes process the exact same
+// event sequence and the events/sec ratio isolates the neighbor-lookup
+// cost. End-to-end figure sweeps gain less (routing and data-plane events
+// dominate there); this is the number the tentpole targets.
+type MediumAblationResult struct {
+	Nodes             int
+	Waves             int
+	Events            uint64 // events per timed pass (identical both modes)
+	NaiveEventsPerSec float64
+	GridEventsPerSec  float64
+	Speedup           float64
+}
+
+// RunMediumAblation runs the broadcast-wave ablation at the given node
+// count. Nodes are random-waypoint walkers at the paper's density (22500 m²
+// per node, 250 m radio range); one untimed warm-up wave fills the event
+// and delivery pools so the timed passes run at steady state.
+func RunMediumAblation(nodes, waves int) (MediumAblationResult, error) {
+	if nodes < 2 {
+		return MediumAblationResult{}, fmt.Errorf("experiments: %d nodes, need at least 2", nodes)
+	}
+	if waves < 1 {
+		waves = 1
+	}
+	run := func(noIndex bool) (uint64, time.Duration) {
+		s := sim.New(1)
+		mob := mobility.NewRandomWaypoint(mobility.RandomWaypointConfig{
+			Width: 150 * float64(nodes), Height: 300, MaxSpeed: 20,
+		}, nodes, 300*time.Second, rand.New(rand.NewSource(1)))
+		m := radio.New(s, mob, radio.Config{Range: 250, NoIndex: noIndex})
+		for i := 0; i < nodes; i++ {
+			m.SetHandler(i, func(int, any) {})
+		}
+		payload := any("wave")
+		for i := 0; i < nodes; i++ {
+			m.Broadcast(i, 64, payload)
+		}
+		s.RunAll()
+		base := s.Processed()
+		start := time.Now()
+		for w := 0; w < waves; w++ {
+			for i := 0; i < nodes; i++ {
+				m.Broadcast(i, 64, payload)
+			}
+			s.RunAll()
+		}
+		return s.Processed() - base, time.Since(start)
+	}
+	naiveEvents, naiveWall := run(true)
+	gridEvents, gridWall := run(false)
+	if naiveEvents != gridEvents {
+		return MediumAblationResult{}, fmt.Errorf(
+			"experiments: medium ablation processed %d events naive vs %d grid — index diverged from oracle",
+			naiveEvents, gridEvents)
+	}
+	res := MediumAblationResult{
+		Nodes:             nodes,
+		Waves:             waves,
+		Events:            naiveEvents,
+		NaiveEventsPerSec: float64(naiveEvents) / naiveWall.Seconds(),
+		GridEventsPerSec:  float64(gridEvents) / gridWall.Seconds(),
+	}
+	if res.NaiveEventsPerSec > 0 {
+		res.Speedup = res.GridEventsPerSec / res.NaiveEventsPerSec
+	}
+	return res, nil
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mccls/internal/metrics"
+	"mccls/internal/runner"
+)
+
+// City-scale sweep: delivery and control overhead as the network grows from
+// a neighborhood to a city. The x-axis is node count in a fixed urban field,
+// so it doubles as a density axis; nodes drive a Manhattan street grid and
+// carry heterogeneous radio ranges — the regime the spatial neighbor index
+// exists for (the naive all-pairs scan is quadratic in this sweep's axis).
+
+// CityConfig drives the node-count sweep. Zero values select a 2000×2000 m
+// street grid (100 m blocks), 10 m/s vehicles, ±30% radio-range jitter, a
+// 60 s horizon, and 100/200/500 nodes.
+type CityConfig struct {
+	// Base is the common scenario; its Nodes/Security/Seed are overridden
+	// per sweep point, and zero values of Width/Height/Duration/MaxSpeed/
+	// Mobility/RangeJitter select the city defaults above.
+	Base Scenario
+	// Nodes lists the swept node counts (default 100, 200, 500).
+	Nodes []int
+	// Repeats averages each point over this many seeds (default 3).
+	Repeats int
+	// Seed is the base seed; repeat k of a point uses Seed + k·7919.
+	Seed int64
+
+	Workers      int
+	TrialTimeout time.Duration
+	Progress     func(TrialUpdate)
+	Context      context.Context
+}
+
+func (cfg CityConfig) withDefaults() CityConfig {
+	if len(cfg.Nodes) == 0 {
+		cfg.Nodes = []int{100, 200, 500}
+	}
+	if cfg.Repeats == 0 {
+		cfg.Repeats = 3
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Context == nil {
+		cfg.Context = context.Background()
+	}
+	if cfg.Base.Width == 0 {
+		cfg.Base.Width = 2000
+	}
+	if cfg.Base.Height == 0 {
+		cfg.Base.Height = 2000
+	}
+	if cfg.Base.Duration == 0 {
+		cfg.Base.Duration = 60 * time.Second
+	}
+	if cfg.Base.MaxSpeed == 0 {
+		cfg.Base.MaxSpeed = 10
+	}
+	if cfg.Base.Mobility == RandomWaypointMobility {
+		cfg.Base.Mobility = ManhattanMobility
+	}
+	if cfg.Base.RangeJitter == 0 {
+		cfg.Base.RangeJitter = 0.3
+	}
+	return cfg
+}
+
+// cityCurves compares the two stacks as the city grows.
+var cityCurves = []curve{
+	{"AODV", Plain, NoAttack},
+	{"McCLS", McCLSCost, NoAttack},
+}
+
+// runNodeSweeps expands every (curve, nodes, repeat) combination into one
+// flat trial batch, mirroring runSweeps along the node-count axis.
+// SweepResult.Speeds carries the node counts.
+func (cfg CityConfig) runNodeSweeps() ([]SweepResult, error) {
+	cfg = cfg.withDefaults()
+	axis := make([]float64, len(cfg.Nodes))
+	for i, n := range cfg.Nodes {
+		axis[i] = float64(n)
+	}
+	trials := make([]runner.Trial[metrics.Summary], 0, len(cityCurves)*len(cfg.Nodes)*cfg.Repeats)
+	for _, c := range cityCurves {
+		for _, n := range cfg.Nodes {
+			for k := 0; k < cfg.Repeats; k++ {
+				sc := cfg.Base
+				sc.Nodes = n
+				sc.Security = c.sec
+				sc.Attack = c.atk
+				sc.Seed = cfg.Seed + int64(k)*7919
+				trials = append(trials, runner.Trial[metrics.Summary]{
+					Label: fmt.Sprintf("%s n=%d seed=%d", c.label, n, sc.Seed),
+					Run: func(ctx context.Context, obs *runner.Obs) (metrics.Summary, error) {
+						res, err := sc.RunContext(ctx)
+						observe(obs, res)
+						return res.Summary, err
+					},
+				})
+			}
+		}
+	}
+	sums, err := runner.Run(cfg.Context, runner.Options{
+		Workers:  cfg.Workers,
+		Timeout:  cfg.TrialTimeout,
+		Progress: cfg.Progress,
+	}, trials)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]SweepResult, len(cityCurves))
+	idx := 0
+	for i := range cityCurves {
+		r := SweepResult{Speeds: axis}
+		for range cfg.Nodes {
+			agg := metrics.NewAggregate(sums[idx : idx+cfg.Repeats])
+			idx += cfg.Repeats
+			r.Aggregates = append(r.Aggregates, agg)
+			r.Summaries = append(r.Summaries, agg.Pooled)
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// cityFigure projects the node-count sweep through one metric selector.
+func (cfg CityConfig) cityFigure(sel metricSel) ([]Series, error) {
+	results, err := cfg.runNodeSweeps()
+	if err != nil {
+		return nil, err
+	}
+	series := make([]Series, len(cityCurves))
+	for i, c := range cityCurves {
+		series[i] = results[i].series(c.label, sel)
+	}
+	return series, nil
+}
+
+// FigureCityPDR generates "Packet Delivery Ratio at city scale": delivery
+// for AODV vs McCLS as the Manhattan-grid network densifies.
+func FigureCityPDR(cfg CityConfig) (Figure, error) {
+	series, err := cfg.cityFigure(pdrSel)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID: "fig9", Title: "Packet Delivery Ratio at city scale",
+		XLabel: "nodes in field", YLabel: "packet delivery ratio",
+		XColumn: "nodes", Series: series,
+	}, nil
+}
+
+// FigureCityOverhead generates "RREQ Ratio at city scale": the control
+// overhead each stack pays as route discovery floods grow with the network.
+func FigureCityOverhead(cfg CityConfig) (Figure, error) {
+	series, err := cfg.cityFigure(rreqSel)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID: "fig10", Title: "RREQ Ratio at city scale",
+		XLabel: "nodes in field", YLabel: "RREQ ratio",
+		XColumn: "nodes", Series: series,
+	}, nil
+}

@@ -9,7 +9,6 @@ import (
 	"mccls/internal/attack"
 	"mccls/internal/dsr"
 	"mccls/internal/metrics"
-	"mccls/internal/mobility"
 	"mccls/internal/radio"
 	"mccls/internal/sim"
 	"mccls/internal/traffic"
@@ -32,12 +31,10 @@ func (sc Scenario) RunDSRContext(ctx context.Context) (Result, error) {
 	s.SetInterrupt(ctx.Err)
 
 	horizon := sc.Duration + 30*time.Second
-	mob := mobility.NewRandomWaypoint(mobility.RandomWaypointConfig{
-		Width:    sc.Width,
-		Height:   sc.Height,
-		MaxSpeed: sc.MaxSpeed,
-		Pause:    sc.Pause,
-	}, sc.Nodes, horizon, s.Rand())
+	mob, err := sc.buildMobility(horizon, s.Rand())
+	if err != nil {
+		return Result{}, err
+	}
 	medium := radio.New(s, mob, sc.Radio)
 
 	attackers := map[int]bool{}
@@ -92,7 +89,10 @@ func (sc Scenario) RunDSRContext(ctx context.Context) (Result, error) {
 	if err := s.Err(); err != nil {
 		return Result{}, fmt.Errorf("scenario aborted after %d events: %w", s.Processed(), err)
 	}
-	return Result{Summary: collectDSR(nodes), Radio: medium.Stats, Events: s.Processed()}, nil
+	return Result{
+		Summary: collectDSR(nodes), Radio: medium.Stats, Events: s.Processed(),
+		PeakQueue: s.PeakQueue(), EventAllocs: s.EventAllocs(), Grid: medium.GridStats(),
+	}, nil
 }
 
 // collectDSR maps DSR counters onto the shared metrics summary (route

@@ -93,6 +93,18 @@ type curve struct {
 // AODV, Scenario.RunDSRContext for DSR) so one sweep engine serves both.
 type scenarioRunner func(Scenario, context.Context) (Result, error)
 
+// observe copies a run's environment counters into the trial's
+// observability slot, where the pool folds them into progress updates.
+func observe(obs *runner.Obs, res Result) {
+	obs.Events = res.Events
+	obs.PeakQueue = res.PeakQueue
+	obs.GridCells = res.Grid.Cells
+	obs.GridOccupancy = res.Grid.MaxOccupancy
+	obs.GridRebuilds = res.Grid.Rebuilds
+	obs.GridQueries = res.Grid.Queries
+	obs.GridCandidates = res.Grid.Candidates
+}
+
 // runSweeps is the sweep engine: it expands every (curve, speed, repeat)
 // combination of a figure into one flat batch of trials, fans the batch out
 // over the worker pool, and folds the repeats back into per-point
@@ -114,7 +126,7 @@ func (cfg SweepConfig) runSweeps(curves []curve, run scenarioRunner) ([]SweepRes
 					Label: fmt.Sprintf("%s v=%g seed=%d", c.label, speed, sc.Seed),
 					Run: func(ctx context.Context, obs *runner.Obs) (metrics.Summary, error) {
 						res, err := run(sc, ctx)
-						obs.Events = res.Events
+						observe(obs, res)
 						return res.Summary, err
 					},
 				})

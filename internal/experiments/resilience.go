@@ -93,7 +93,7 @@ func (cfg ResilienceConfig) runChurnSweeps() ([]SweepResult, error) {
 					Label: fmt.Sprintf("%s churn=%d seed=%d", c.label, churn, sc.Seed),
 					Run: func(ctx context.Context, obs *runner.Obs) (metrics.Summary, error) {
 						res, err := sc.RunContext(ctx)
-						obs.Events = res.Events
+						observe(obs, res)
 						return res.Summary, err
 					},
 				})

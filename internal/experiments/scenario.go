@@ -9,6 +9,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -77,6 +78,35 @@ func (m AttackMode) String() string {
 	}
 }
 
+// MobilityModel selects the movement pattern of the scenario's nodes.
+type MobilityModel int
+
+const (
+	// RandomWaypointMobility is the paper's model (§6) and the zero value:
+	// uniform waypoints, straight legs, optional pause.
+	RandomWaypointMobility MobilityModel = iota
+	// ManhattanMobility constrains nodes to a grid of orthogonal streets
+	// with probabilistic turns at intersections — the urban city-scale
+	// pattern. Street spacing comes from Scenario.StreetSpacing.
+	ManhattanMobility
+	// HighwayMobility moves nodes along parallel lanes of a wrap-around
+	// highway of length Scenario.Width, alternating direction by lane.
+	HighwayMobility
+)
+
+func (m MobilityModel) String() string {
+	switch m {
+	case RandomWaypointMobility:
+		return "random waypoint"
+	case ManhattanMobility:
+		return "manhattan"
+	case HighwayMobility:
+		return "highway"
+	default:
+		return fmt.Sprintf("MobilityModel(%d)", int(m))
+	}
+}
+
 // ExplicitZero marks a numeric Scenario field as "really zero". Because a
 // field's zero value selects the paper default (Attackers: 0 → 2,
 // GrayholeDropProb: 0 → 0.5), plain 0 is inexpressible there; set the field
@@ -95,6 +125,19 @@ type Scenario struct {
 	Pause         time.Duration
 	Duration      time.Duration
 	Seed          int64
+
+	// Mobility selects the movement model (zero value: the paper's random
+	// waypoint). StreetSpacing is the Manhattan street grid's block size in
+	// meters (0 selects the mobility package's 100 m default) and is ignored
+	// by the other models.
+	Mobility      MobilityModel
+	StreetSpacing float64
+	// RangeJitter spreads per-node radio ranges uniformly over
+	// Range·[1−j, 1+j] (clamped to j ≤ 0.9), modelling a heterogeneous
+	// radio population. The jitter is drawn from a seed-derived stream
+	// independent of the simulation RNG, so 0 leaves runs bit-identical to
+	// the homogeneous setup.
+	RangeJitter float64
 
 	Flows       int
 	Rate        float64
@@ -200,6 +243,14 @@ type Result struct {
 	// Events is the number of simulator events the run processed, the
 	// scenario's natural work unit for throughput observability.
 	Events uint64
+	// PeakQueue is the event queue's high-water mark and EventAllocs the
+	// pooled event store's live high-water mark (fresh allocations, not
+	// events processed).
+	PeakQueue   int
+	EventAllocs uint64
+	// Grid reports the spatial neighbor index's work (all zero when the
+	// scenario disables it via Radio.NoIndex).
+	Grid radio.GridStats
 }
 
 // Run executes the scenario and returns its metrics.
@@ -212,18 +263,29 @@ func (sc Scenario) Run() (Result, error) {
 // with the context's error.
 func (sc Scenario) RunContext(ctx context.Context) (Result, error) {
 	sc = sc.withDefaults()
+	if sc.Nodes < 2 {
+		return Result{}, fmt.Errorf("experiments: %d nodes, need at least 2", sc.Nodes)
+	}
 	s := sim.New(sc.Seed)
 	s.SetMaxEvents(sc.MaxEvents)
 	s.SetInterrupt(ctx.Err)
 
 	horizon := sc.Duration + 30*time.Second
-	mob := mobility.NewRandomWaypoint(mobility.RandomWaypointConfig{
-		Width:    sc.Width,
-		Height:   sc.Height,
-		MaxSpeed: sc.MaxSpeed,
-		Pause:    sc.Pause,
-	}, sc.Nodes, horizon, s.Rand())
+	mob, err := sc.buildMobility(horizon, s.Rand())
+	if err != nil {
+		return Result{}, err
+	}
 	medium := radio.New(s, mob, sc.Radio)
+	if sc.RangeJitter > 0 {
+		// A stream independent of the simulation RNG: jitter must not shift
+		// waypoint or MAC draws, and the same seed must give every security
+		// mode the same radio population (paired comparison).
+		j := math.Min(sc.RangeJitter, 0.9)
+		jrng := rand.New(rand.NewSource(sc.Seed ^ 0x726a7472)) // "rjtr"
+		for i := 0; i < sc.Nodes; i++ {
+			medium.SetNodeRange(i, sc.Radio.Range*(1+j*(2*jrng.Float64()-1)))
+		}
+	}
 
 	// Attackers take the highest node indices; their random-waypoint
 	// placement is as good as anyone's.
@@ -329,11 +391,44 @@ func (sc Scenario) RunContext(ctx context.Context) (Result, error) {
 		return Result{}, fmt.Errorf("scenario aborted after %d events: %w", s.Processed(), err)
 	}
 
-	res := Result{Summary: metrics.Collect(nodes), Radio: medium.Stats, Events: s.Processed()}
+	res := Result{
+		Summary: metrics.Collect(nodes), Radio: medium.Stats, Events: s.Processed(),
+		PeakQueue: s.PeakQueue(), EventAllocs: s.EventAllocs(), Grid: medium.GridStats(),
+	}
 	if enr != nil {
 		res.Enroll = enr.Totals()
 	}
 	return res, nil
+}
+
+// buildMobility constructs the scenario's movement model. All models draw
+// their trajectories from the simulation RNG at construction, so the zero
+// value (random waypoint) consumes the stream exactly as the original
+// single-model code did and stays bit-identical.
+func (sc Scenario) buildMobility(horizon time.Duration, rng *rand.Rand) (mobility.Model, error) {
+	switch sc.Mobility {
+	case RandomWaypointMobility:
+		return mobility.NewRandomWaypoint(mobility.RandomWaypointConfig{
+			Width:    sc.Width,
+			Height:   sc.Height,
+			MaxSpeed: sc.MaxSpeed,
+			Pause:    sc.Pause,
+		}, sc.Nodes, horizon, rng), nil
+	case ManhattanMobility:
+		return mobility.NewManhattanGrid(mobility.ManhattanGridConfig{
+			Width:    sc.Width,
+			Height:   sc.Height,
+			Spacing:  sc.StreetSpacing,
+			MaxSpeed: sc.MaxSpeed,
+		}, sc.Nodes, horizon, rng), nil
+	case HighwayMobility:
+		return mobility.NewHighway(mobility.HighwayConfig{
+			Length:   sc.Width,
+			MaxSpeed: sc.MaxSpeed,
+		}, sc.Nodes, horizon, rng), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown mobility model %d", int(sc.Mobility))
+	}
 }
 
 // buildAuth constructs the authenticator for the security mode. Without

@@ -1,9 +1,14 @@
 // Package mobility provides node-mobility models for the MANET simulator.
 // The paper's evaluation uses the random waypoint model in a rectangular
 // field with zero pause time and maximum speeds swept from 0 to 20 m/s;
-// RandomWaypoint implements exactly that. Positions are precomputed as
-// piecewise-linear legs, so lookups are pure functions of time and the
-// whole trajectory is deterministic given the seed.
+// RandomWaypoint implements exactly that. The city-scale extensions add
+// ManhattanGrid (vehicles on a street grid with probabilistic turns) and
+// Highway (multi-lane bidirectional traffic with wrap-around), the two
+// canonical VANET mobility patterns. Positions are precomputed as
+// piecewise-linear legs, so lookups are pure functions of time, the whole
+// trajectory is deterministic given the seed, and consumers (the radio
+// medium's spatial index) can bound where a node will be over a time window
+// through the Leg view.
 package mobility
 
 import (
@@ -22,20 +27,122 @@ func (p Point) Dist(q Point) float64 {
 	return math.Hypot(p.X-q.X, p.Y-q.Y)
 }
 
+// Forever is the open-ended leg horizon: a Leg whose t1 is Forever holds its
+// destination for the rest of the simulation.
+const Forever = time.Duration(math.MaxInt64)
+
 // Model yields node positions over virtual time.
 type Model interface {
 	// Position returns the location of node at virtual time t.
 	Position(node int, t time.Duration) Point
 	// Nodes returns the number of nodes the model covers.
 	Nodes() int
+	// Leg returns the linear trajectory segment active at time t: the node
+	// moves from `from` (reached at t0) to `to` (reached at t1) at constant
+	// velocity, so Position(node, u) for u in [t0, t1] is the linear
+	// interpolation between the endpoints. t0 <= t <= t1 holds for
+	// trajectory-aware models; a model without trajectory knowledge returns
+	// the degenerate leg (p, p, t, t) with p = Position(node, t), which
+	// consumers treat as "instantaneous information only".
+	Leg(node int, t time.Duration) (from, to Point, t0, t1 time.Duration)
 }
 
 // leg is one linear segment of a trajectory: the node moves from From at
 // time Start, reaching To at time End, then the next leg applies. A pause
-// is a leg with From == To.
+// is a leg with From == To; a wrap/teleport is a leg with Start == End.
 type leg struct {
 	start, end time.Duration
 	from, to   Point
+}
+
+// legModel is the shared engine of every precomputed piecewise-linear
+// mobility model: per-node leg lists plus binary-search Position and Leg
+// lookups. RandomWaypoint, ManhattanGrid and Highway all embed it and only
+// differ in how they generate the legs.
+type legModel struct {
+	legs [][]leg
+}
+
+// Nodes returns the number of nodes the model covers.
+func (m *legModel) Nodes() int { return len(m.legs) }
+
+// find returns the index of the leg active at time t (the first leg whose
+// end is >= t), assuming t lies strictly inside the trajectory span.
+func (m *legModel) find(node int, t time.Duration) int {
+	ls := m.legs[node]
+	lo, hi := 0, len(ls)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ls[mid].end < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Position returns the location of node at time t by binary search over its
+// legs followed by linear interpolation.
+func (m *legModel) Position(node int, t time.Duration) Point {
+	ls := m.legs[node]
+	if len(ls) == 0 {
+		return Point{}
+	}
+	if t <= ls[0].start {
+		return ls[0].from
+	}
+	last := ls[len(ls)-1]
+	if t >= last.end {
+		return last.to
+	}
+	l := ls[m.find(node, t)]
+	if l.end == l.start {
+		return l.to
+	}
+	frac := float64(t-l.start) / float64(l.end-l.start)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return Point{
+		X: l.from.X + (l.to.X-l.from.X)*frac,
+		Y: l.from.Y + (l.to.Y-l.from.Y)*frac,
+	}
+}
+
+// Leg returns the trajectory segment covering [t, t1): the first leg whose
+// end lies strictly after t, so callers walking a trajectory window always
+// make progress and zero-duration legs (wrap-around teleports) are stepped
+// over, surfacing as a `from` discontinuity on the following leg. Before the
+// first leg and after the last, the node holds its position, reported as a
+// degenerate open-ended leg.
+func (m *legModel) Leg(node int, t time.Duration) (from, to Point, t0, t1 time.Duration) {
+	ls := m.legs[node]
+	if len(ls) == 0 {
+		return Point{}, Point{}, 0, Forever
+	}
+	if t < ls[0].start {
+		return ls[0].from, ls[0].from, 0, ls[0].start
+	}
+	last := ls[len(ls)-1]
+	if t >= last.end {
+		return last.to, last.to, last.end, Forever
+	}
+	// First leg with end > t (strict): t >= last.end was excluded above.
+	lo, hi := 0, len(ls)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ls[mid].end <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	l := ls[lo]
+	return l.from, l.to, l.start, l.end
 }
 
 // RandomWaypoint is the classic random waypoint model: each node repeatedly
@@ -43,7 +150,7 @@ type leg struct {
 // [MinSpeed, MaxSpeed], travels there in a straight line, pauses for Pause,
 // and repeats.
 type RandomWaypoint struct {
-	legs [][]leg
+	legModel
 }
 
 // RandomWaypointConfig parameterizes the model.
@@ -60,7 +167,7 @@ type RandomWaypointConfig struct {
 // NewRandomWaypoint precomputes trajectories for n nodes up to the horizon.
 // Positions requested beyond the horizon hold the last waypoint.
 func NewRandomWaypoint(cfg RandomWaypointConfig, n int, horizon time.Duration, rng *rand.Rand) *RandomWaypoint {
-	m := &RandomWaypoint{legs: make([][]leg, n)}
+	m := &RandomWaypoint{legModel{legs: make([][]leg, n)}}
 	for node := 0; node < n; node++ {
 		pos := Point{X: rng.Float64() * cfg.Width, Y: rng.Float64() * cfg.Height}
 		var ls []leg
@@ -91,47 +198,188 @@ func NewRandomWaypoint(cfg RandomWaypointConfig, n int, horizon time.Duration, r
 	return m
 }
 
-// Nodes returns the number of nodes the model covers.
-func (m *RandomWaypoint) Nodes() int { return len(m.legs) }
+// ManhattanGridConfig parameterizes the Manhattan mobility model: vehicles
+// constrained to a grid of orthogonal streets, turning probabilistically at
+// intersections — the standard urban VANET pattern.
+type ManhattanGridConfig struct {
+	// Width and Height are the field dimensions in meters; streets run
+	// every Spacing meters in both axes (default 100 m blocks).
+	Width, Height, Spacing float64
+	// MinSpeed and MaxSpeed bound the per-block speed in m/s. MaxSpeed == 0
+	// parks every vehicle at its starting intersection.
+	MinSpeed, MaxSpeed float64
+	// StraightProb is the probability of continuing straight at an
+	// intersection where straight is possible (default 0.5); the remainder
+	// splits uniformly over the available turns. U-turns happen only at
+	// dead ends.
+	StraightProb float64
+}
 
-// Position returns the location of node at time t by binary search over its
-// legs followed by linear interpolation.
-func (m *RandomWaypoint) Position(node int, t time.Duration) Point {
-	ls := m.legs[node]
-	if len(ls) == 0 {
-		return Point{}
+func (cfg ManhattanGridConfig) withDefaults() ManhattanGridConfig {
+	if cfg.Spacing <= 0 {
+		cfg.Spacing = 100
 	}
-	if t <= ls[0].start {
-		return ls[0].from
+	if cfg.StraightProb <= 0 {
+		cfg.StraightProb = 0.5
 	}
-	last := ls[len(ls)-1]
-	if t >= last.end {
-		return last.to
+	return cfg
+}
+
+// ManhattanGrid moves nodes along a grid of orthogonal streets: one block
+// per leg, a probabilistic direction choice at every intersection, a fresh
+// uniform speed per block.
+type ManhattanGrid struct {
+	legModel
+}
+
+// manhattan direction vectors: east, north, west, south (grid steps).
+var manhattanDirs = [4][2]int{{1, 0}, {0, 1}, {-1, 0}, {0, -1}}
+
+// NewManhattanGrid precomputes trajectories for n nodes up to the horizon.
+// Vehicles start at uniformly drawn intersections.
+func NewManhattanGrid(cfg ManhattanGridConfig, n int, horizon time.Duration, rng *rand.Rand) *ManhattanGrid {
+	cfg = cfg.withDefaults()
+	// Intersections live at (i*Spacing, j*Spacing) for i in [0, nx],
+	// j in [0, ny]; a degenerate axis (field thinner than one block)
+	// still leaves a single street along the other axis.
+	nx := int(cfg.Width / cfg.Spacing)
+	ny := int(cfg.Height / cfg.Spacing)
+	m := &ManhattanGrid{legModel{legs: make([][]leg, n)}}
+	for node := 0; node < n; node++ {
+		ix, iy := rng.Intn(nx+1), rng.Intn(ny+1)
+		pos := Point{X: float64(ix) * cfg.Spacing, Y: float64(iy) * cfg.Spacing}
+		var ls []leg
+		if cfg.MaxSpeed <= 0 || (nx == 0 && ny == 0) {
+			m.legs[node] = append(ls, leg{start: 0, end: horizon, from: pos, to: pos})
+			continue
+		}
+		dir := rng.Intn(4)
+		now := time.Duration(0)
+		for now < horizon {
+			dir = nextManhattanDir(rng, cfg.StraightProb, dir, ix, iy, nx, ny)
+			ix += manhattanDirs[dir][0]
+			iy += manhattanDirs[dir][1]
+			dst := Point{X: float64(ix) * cfg.Spacing, Y: float64(iy) * cfg.Spacing}
+			minSpeed := cfg.MinSpeed
+			if minSpeed <= 0 {
+				minSpeed = math.Min(0.1, cfg.MaxSpeed)
+			}
+			speed := minSpeed + rng.Float64()*(cfg.MaxSpeed-minSpeed)
+			travel := time.Duration(pos.Dist(dst) / speed * float64(time.Second))
+			ls = append(ls, leg{start: now, end: now + travel, from: pos, to: dst})
+			now += travel
+			pos = dst
+		}
+		m.legs[node] = ls
 	}
-	lo, hi := 0, len(ls)-1
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if ls[mid].end < t {
-			lo = mid + 1
-		} else {
-			hi = mid
+	return m
+}
+
+// nextManhattanDir draws the direction taken out of intersection (ix, iy) by
+// a vehicle that arrived heading dir: straight with StraightProb when the
+// grid allows it, otherwise a uniform choice among the available turns,
+// U-turning only at dead ends.
+func nextManhattanDir(rng *rand.Rand, straightProb float64, dir, ix, iy, nx, ny int) int {
+	ok := func(d int) bool {
+		jx, jy := ix+manhattanDirs[d][0], iy+manhattanDirs[d][1]
+		return jx >= 0 && jx <= nx && jy >= 0 && jy <= ny
+	}
+	reverse := (dir + 2) % 4
+	if ok(dir) && rng.Float64() < straightProb {
+		return dir
+	}
+	// Collect the turns (and straight, when it lost the draw above but a
+	// turn is impossible) in fixed order for determinism.
+	var turns []int
+	for _, d := range [2]int{(dir + 1) % 4, (dir + 3) % 4} {
+		if ok(d) {
+			turns = append(turns, d)
 		}
 	}
-	l := ls[lo]
-	if l.end == l.start {
-		return l.to
+	if len(turns) == 0 {
+		if ok(dir) {
+			return dir
+		}
+		return reverse // dead end
 	}
-	frac := float64(t-l.start) / float64(l.end-l.start)
-	if frac < 0 {
-		frac = 0
+	return turns[rng.Intn(len(turns))]
+}
+
+// HighwayConfig parameterizes the highway mobility model: a straight
+// multi-lane road with half the lanes flowing each way and wrap-around at
+// the ends, the standard freeway VANET pattern.
+type HighwayConfig struct {
+	// Length is the highway length in meters; LaneWidth separates adjacent
+	// lanes (default 5 m). Lanes is the lane count (default 4); even lane
+	// indices flow east (+x), odd ones west.
+	Length, LaneWidth float64
+	Lanes             int
+	// MinSpeed and MaxSpeed bound each vehicle's cruise speed in m/s;
+	// a vehicle keeps one speed for the whole run. MaxSpeed == 0 parks
+	// every vehicle.
+	MinSpeed, MaxSpeed float64
+}
+
+func (cfg HighwayConfig) withDefaults() HighwayConfig {
+	if cfg.Length <= 0 {
+		cfg.Length = 1000
 	}
-	if frac > 1 {
-		frac = 1
+	if cfg.Lanes <= 0 {
+		cfg.Lanes = 4
 	}
-	return Point{
-		X: l.from.X + (l.to.X-l.from.X)*frac,
-		Y: l.from.Y + (l.to.Y-l.from.Y)*frac,
+	if cfg.LaneWidth <= 0 {
+		cfg.LaneWidth = 5
 	}
+	return cfg
+}
+
+// Highway moves nodes along a straight multi-lane road at constant per-node
+// speed, wrapping from one end to the other (an instantaneous teleport leg)
+// so density stays stationary over time.
+type Highway struct {
+	legModel
+}
+
+// NewHighway precomputes trajectories for n nodes up to the horizon.
+// Vehicles are dealt round-robin onto lanes at uniform starting offsets.
+func NewHighway(cfg HighwayConfig, n int, horizon time.Duration, rng *rand.Rand) *Highway {
+	cfg = cfg.withDefaults()
+	m := &Highway{legModel{legs: make([][]leg, n)}}
+	for node := 0; node < n; node++ {
+		lane := node % cfg.Lanes
+		y := (float64(lane) + 0.5) * cfg.LaneWidth
+		x := rng.Float64() * cfg.Length
+		east := lane%2 == 0
+		pos := Point{X: x, Y: y}
+		var ls []leg
+		if cfg.MaxSpeed <= 0 {
+			m.legs[node] = append(ls, leg{start: 0, end: horizon, from: pos, to: pos})
+			continue
+		}
+		minSpeed := cfg.MinSpeed
+		if minSpeed <= 0 {
+			minSpeed = math.Min(0.1, cfg.MaxSpeed)
+		}
+		speed := minSpeed + rng.Float64()*(cfg.MaxSpeed-minSpeed)
+		now := time.Duration(0)
+		for now < horizon {
+			var edge Point
+			if east {
+				edge = Point{X: cfg.Length, Y: y}
+			} else {
+				edge = Point{X: 0, Y: y}
+			}
+			travel := time.Duration(pos.Dist(edge) / speed * float64(time.Second))
+			ls = append(ls, leg{start: now, end: now + travel, from: pos, to: edge})
+			now += travel
+			// Wrap to the opposite end: a zero-duration teleport leg keeps
+			// the trajectory piecewise-linear.
+			pos = Point{X: cfg.Length - edge.X, Y: y}
+			ls = append(ls, leg{start: now, end: now, from: edge, to: pos})
+		}
+		m.legs[node] = ls
+	}
+	return m
 }
 
 // Static places nodes at fixed positions; useful for unit tests and
@@ -145,3 +393,9 @@ func (s *Static) Nodes() int { return len(s.Points) }
 
 // Position returns the fixed location of node.
 func (s *Static) Position(node int, _ time.Duration) Point { return s.Points[node] }
+
+// Leg reports the open-ended zero-velocity leg of a fixed node.
+func (s *Static) Leg(node int, _ time.Duration) (from, to Point, t0, t1 time.Duration) {
+	p := s.Points[node]
+	return p, p, 0, Forever
+}

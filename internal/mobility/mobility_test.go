@@ -1,6 +1,7 @@
 package mobility
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"time"
@@ -84,6 +85,157 @@ func TestRandomWaypointDeterministic(t *testing.T) {
 				t.Fatal("same seed produced different trajectories")
 			}
 		}
+	}
+}
+
+// TestLegMatchesPosition pins the Leg/Position contract on every leg-based
+// model: at any t the position is the linear interpolation of the active
+// leg, and walking legs from 0 always makes progress.
+func TestLegMatchesPosition(t *testing.T) {
+	horizon := 120 * time.Second
+	models := map[string]Model{
+		"rwp": NewRandomWaypoint(RandomWaypointConfig{Width: 1000, Height: 500, MaxSpeed: 20, Pause: time.Second},
+			6, horizon, rand.New(rand.NewSource(11))),
+		"manhattan": NewManhattanGrid(ManhattanGridConfig{Width: 1000, Height: 500, Spacing: 100, MaxSpeed: 15},
+			6, horizon, rand.New(rand.NewSource(11))),
+		"highway": NewHighway(HighwayConfig{Length: 2000, MinSpeed: 20, MaxSpeed: 33},
+			6, horizon, rand.New(rand.NewSource(11))),
+		"static": &Static{Points: []Point{{1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, 10}, {11, 12}}},
+	}
+	for name, m := range models {
+		for node := 0; node < m.Nodes(); node++ {
+			for ts := time.Duration(0); ts <= horizon+10*time.Second; ts += 1337 * time.Millisecond {
+				from, to, t0, t1 := m.Leg(node, ts)
+				if t1 < ts || t0 > ts {
+					t.Fatalf("%s node %d: leg [%v,%v] does not cover t=%v", name, node, t0, t1, ts)
+				}
+				var want Point
+				if t1 <= t0 || t1 == Forever && ts >= t0 {
+					want = to
+					if ts == t0 {
+						want = from
+					}
+				}
+				if t1 > t0 && t1 != Forever {
+					frac := float64(ts-t0) / float64(t1-t0)
+					want = Point{X: from.X + (to.X-from.X)*frac, Y: from.Y + (to.Y-from.Y)*frac}
+				}
+				got := m.Position(node, ts)
+				if got.Dist(want) > 1e-6 {
+					t.Fatalf("%s node %d t=%v: Position=%v but leg lerp=%v", name, node, ts, got, want)
+				}
+			}
+			// Walking the legs from 0 terminates (every step advances).
+			ts := time.Duration(0)
+			for steps := 0; ts < horizon; steps++ {
+				if steps > 100000 {
+					t.Fatalf("%s node %d: leg walk did not terminate", name, node)
+				}
+				_, _, _, t1 := m.Leg(node, ts)
+				if t1 <= ts {
+					t.Fatalf("%s node %d: leg walk stalled at t=%v (t1=%v)", name, node, ts, t1)
+				}
+				ts = t1
+			}
+		}
+	}
+}
+
+func TestManhattanGridStaysOnStreets(t *testing.T) {
+	const spacing = 100.0
+	cfg := ManhattanGridConfig{Width: 1000, Height: 600, Spacing: spacing, MaxSpeed: 15}
+	m := NewManhattanGrid(cfg, 20, 300*time.Second, rand.New(rand.NewSource(4)))
+	onStreet := func(v float64) bool {
+		_, frac := math.Modf(v / spacing)
+		return frac < 1e-9 || frac > 1-1e-9
+	}
+	for node := 0; node < m.Nodes(); node++ {
+		for ts := time.Duration(0); ts <= 300*time.Second; ts += 731 * time.Millisecond {
+			p := m.Position(node, ts)
+			if p.X < 0 || p.X > 1000 || p.Y < 0 || p.Y > 600 {
+				t.Fatalf("node %d left the field at %v: %v", node, ts, p)
+			}
+			if !onStreet(p.X) && !onStreet(p.Y) {
+				t.Fatalf("node %d off-street at %v: %v", node, ts, p)
+			}
+		}
+	}
+}
+
+func TestManhattanGridMovesAndIsDeterministic(t *testing.T) {
+	cfg := ManhattanGridConfig{Width: 800, Height: 800, MaxSpeed: 10}
+	a := NewManhattanGrid(cfg, 5, 2*time.Minute, rand.New(rand.NewSource(6)))
+	b := NewManhattanGrid(cfg, 5, 2*time.Minute, rand.New(rand.NewSource(6)))
+	for node := 0; node < 5; node++ {
+		if a.Position(node, 0) == a.Position(node, time.Minute) {
+			t.Fatalf("node %d never moved", node)
+		}
+		for ts := time.Duration(0); ts < 2*time.Minute; ts += 777 * time.Millisecond {
+			if a.Position(node, ts) != b.Position(node, ts) {
+				t.Fatal("same seed produced different trajectories")
+			}
+		}
+	}
+}
+
+func TestHighwayLanesAndWrap(t *testing.T) {
+	cfg := HighwayConfig{Length: 1000, Lanes: 4, LaneWidth: 5, MinSpeed: 25, MaxSpeed: 25}
+	m := NewHighway(cfg, 8, 2*time.Minute, rand.New(rand.NewSource(2)))
+	for node := 0; node < m.Nodes(); node++ {
+		lane := node % 4
+		wantY := (float64(lane) + 0.5) * 5
+		east := lane%2 == 0
+		prev := m.Position(node, 0)
+		for ts := 100 * time.Millisecond; ts <= 2*time.Minute; ts += 100 * time.Millisecond {
+			p := m.Position(node, ts)
+			if p.Y != wantY {
+				t.Fatalf("node %d drifted off lane %d: y=%v want %v", node, lane, p.Y, wantY)
+			}
+			if p.X < 0 || p.X > 1000 {
+				t.Fatalf("node %d off the highway: x=%v", node, p.X)
+			}
+			dx := p.X - prev.X
+			// At 25 m/s a 100 ms step moves 2.5 m in the lane direction,
+			// except across a wrap where the sign flips by nearly -Length.
+			if east && dx < 0 && dx > -900 {
+				t.Fatalf("eastbound node %d moved backwards: dx=%v at %v", node, dx, ts)
+			}
+			if !east && dx > 0 && dx < 900 {
+				t.Fatalf("westbound node %d moved backwards: dx=%v at %v", node, dx, ts)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestHighwaySpeedConstant(t *testing.T) {
+	cfg := HighwayConfig{Length: 5000, Lanes: 2, MinSpeed: 10, MaxSpeed: 30}
+	m := NewHighway(cfg, 4, time.Minute, rand.New(rand.NewSource(8)))
+	for node := 0; node < 4; node++ {
+		p0 := m.Position(node, 10*time.Second)
+		p1 := m.Position(node, 11*time.Second)
+		p2 := m.Position(node, 12*time.Second)
+		v01, v12 := p0.Dist(p1), p1.Dist(p2)
+		// Constant cruise speed away from wraps (5 km highway, ≤30 m/s, so
+		// t∈[10s,12s] cannot wrap for nodes starting in the middle; allow a
+		// wrap by skipping implausible jumps).
+		if v01 > 100 || v12 > 100 {
+			continue
+		}
+		if math.Abs(v01-v12) > 1e-6 {
+			t.Fatalf("node %d speed varied: %v then %v m/s", node, v01, v12)
+		}
+		if v01 < 10-1e-9 || v01 > 30+1e-9 {
+			t.Fatalf("node %d cruise speed %v outside [10,30]", node, v01)
+		}
+	}
+}
+
+func TestStaticLegOpenEnded(t *testing.T) {
+	s := &Static{Points: []Point{{1, 2}}}
+	from, to, t0, t1 := s.Leg(0, time.Hour)
+	if from != (Point{1, 2}) || to != from || t0 != 0 || t1 != Forever {
+		t.Fatalf("static leg = (%v,%v,%v,%v)", from, to, t0, t1)
 	}
 }
 

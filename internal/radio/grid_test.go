@@ -1,0 +1,298 @@
+package radio
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+	"time"
+
+	"mccls/internal/mobility"
+	"mccls/internal/sim"
+)
+
+// gridTestMedium builds a medium over a random-waypoint field with the
+// spatial index enabled.
+func gridTestMedium(seed int64, n int, width, height float64) (*sim.Simulator, *Medium) {
+	s := sim.New(seed)
+	mob := mobility.NewRandomWaypoint(mobility.RandomWaypointConfig{
+		Width: width, Height: height, MaxSpeed: 20,
+	}, n, 300*time.Second, rand.New(rand.NewSource(seed)))
+	return s, New(s, mob, Config{Range: 250})
+}
+
+// checkGridVsNaive compares the indexed and naive neighbor sets of every
+// node at the medium's current virtual time.
+func checkGridVsNaive(t *testing.T, m *Medium, label string) {
+	t.Helper()
+	for node := 0; node < m.Nodes(); node++ {
+		grid := m.AppendNeighbors(node, nil)
+		naive := m.NeighborsNaive(node)
+		if !slices.Equal(grid, naive) {
+			t.Fatalf("%s node %d: grid=%v naive=%v", label, node, grid, naive)
+		}
+	}
+}
+
+// TestNeighborsGridMatchesNaive is the differential test of the spatial
+// index: under moving nodes, powered-down radios, link and region outages,
+// the grid must return exactly the naive all-pairs scan's neighbor sets.
+func TestNeighborsGridMatchesNaive(t *testing.T) {
+	s, m := gridTestMedium(7, 60, 1500, 300)
+
+	// Faults: two dead radios, a severed link, a jammed region mid-field.
+	m.SetNodeDown(3, true)
+	m.SetNodeDown(41, true)
+	m.AddLinkOutage(5, 9, 10*time.Second, 200*time.Second)
+	m.AddRegionOutage(mobility.Point{X: 750, Y: 150}, 300, 50*time.Second, 150*time.Second)
+
+	for _, target := range []time.Duration{0, 3 * time.Second, 9999 * time.Millisecond,
+		30 * time.Second, 77 * time.Second, 149 * time.Second, 151 * time.Second, 299 * time.Second} {
+		s.Run(target)
+		checkGridVsNaive(t, m, fmt.Sprintf("t=%v", target))
+	}
+
+	// Flip the churned radios and re-check inside the same epoch: the down
+	// flags are evaluated at query time, not bake into the index.
+	m.SetNodeDown(3, false)
+	m.SetNodeDown(12, true)
+	checkGridVsNaive(t, m, "after churn flip")
+}
+
+// TestNeighborsGridHeterogeneousRanges pins grid==naive when nodes carry
+// different radio ranges (the symmetric min-range link rule).
+func TestNeighborsGridHeterogeneousRanges(t *testing.T) {
+	s, m := gridTestMedium(11, 50, 1200, 600)
+	rng := rand.New(rand.NewSource(13))
+	for node := 0; node < m.Nodes(); node++ {
+		m.SetNodeRange(node, 100+rng.Float64()*300) // 100–400 m, straddling the 250 m cell size
+	}
+	for _, target := range []time.Duration{0, 17 * time.Second, 120 * time.Second} {
+		s.Run(target)
+		checkGridVsNaive(t, m, fmt.Sprintf("hetero t=%v", target))
+	}
+}
+
+// TestNeighborsGridBoundaryCells places nodes exactly on cell boundaries
+// (multiples of the 250 m cell size), at negative coordinates, and at
+// exact-range distances, where floor/comparison edge cases live.
+func TestNeighborsGridBoundaryCells(t *testing.T) {
+	pts := []mobility.Point{
+		{X: 0, Y: 0},
+		{X: 250, Y: 0},   // exactly one cell east, exactly at range
+		{X: 500, Y: 0},   // exactly two cells east
+		{X: -250, Y: 0},  // negative cell, exactly at range
+		{X: 250, Y: 250}, // diagonal cell corner
+		{X: -0.0001, Y: 0},
+		{X: 249.9999, Y: 249.9999},
+		{X: -500, Y: -500},
+	}
+	s := sim.New(1)
+	m := New(s, &mobility.Static{Points: pts}, Config{Range: 250})
+	checkGridVsNaive(t, m, "boundary")
+	// An exact-range pair is in range (<=, not <): distance 250 == range.
+	if !m.InRange(0, 1) {
+		t.Fatal("exact-range pair not in range")
+	}
+	got := m.Neighbors(0)
+	want := m.NeighborsNaive(0)
+	if !slices.Equal(got, want) || len(got) == 0 {
+		t.Fatalf("boundary neighbors: grid=%v naive=%v", got, want)
+	}
+}
+
+// TestNeighborsGridInstantFallback drives the medium over a model that
+// reports no trajectory information: every query at a new time must force a
+// fresh (still exact) rebuild.
+func TestNeighborsGridInstantFallback(t *testing.T) {
+	s := sim.New(1)
+	m := New(s, &movingAway{}, Config{})
+	if got := m.Neighbors(0); !slices.Equal(got, []int{1}) {
+		t.Fatalf("neighbors at t=0: %v", got)
+	}
+	before := m.GridStats().Rebuilds
+	s.Run(40 * time.Second) // node 1 is now 500 m away
+	if got := m.Neighbors(0); len(got) != 0 {
+		t.Fatalf("neighbors after recession: %v", got)
+	}
+	if m.GridStats().Rebuilds == before {
+		t.Fatal("instant-only model did not force a rebuild at the new time")
+	}
+}
+
+// TestAppendNeighborsZeroAlloc pins the hot-path guarantee: inside one
+// index epoch, neighbor lookups into a reused buffer do not allocate.
+func TestAppendNeighborsZeroAlloc(t *testing.T) {
+	s, m := gridTestMedium(3, 200, 2000, 2000)
+	s.Run(5 * time.Second)
+	buf := make([]int, 0, 256)
+	m.AppendNeighbors(0, buf) // warm the grid and scratch buffers
+	allocs := testing.AllocsPerRun(200, func() {
+		for node := 0; node < 50; node++ {
+			buf = m.AppendNeighbors(node, buf[:0])
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("AppendNeighbors allocates %.1f/op inside an epoch, want 0", allocs)
+	}
+}
+
+// TestBroadcastWaveZeroAlloc pins the full transmit→deliver chain: with
+// pooled tx jobs, deliveries and events, a steady-state broadcast wave does
+// not allocate. The topology is static so the pools' high-water marks are
+// reached during warm-up; under mobility the peak in-flight demand can keep
+// growing (denser clusters form), which is amortized pool growth, not a
+// per-frame allocation — BenchmarkBroadcastWave reports that case.
+func TestBroadcastWaveZeroAlloc(t *testing.T) {
+	pts := make([]mobility.Point, 100)
+	for i := range pts {
+		pts[i] = mobility.Point{X: float64(i%10) * 200, Y: float64(i/10) * 200}
+	}
+	s := sim.New(5)
+	m := New(s, &mobility.Static{Points: pts}, Config{Range: 250})
+	payload := any("hello")
+	for i := 0; i < m.Nodes(); i++ {
+		m.SetHandler(i, func(int, any) {})
+	}
+	// Warm every pool to its high-water mark: a few full waves.
+	for wave := 0; wave < 5; wave++ {
+		for i := 0; i < m.Nodes(); i++ {
+			m.Broadcast(i, 64, payload)
+		}
+		s.RunAll()
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for i := 0; i < m.Nodes(); i++ {
+			m.Broadcast(i, 64, payload)
+		}
+		s.RunAll()
+	})
+	if allocs > 0 {
+		t.Fatalf("broadcast wave allocates %.1f/op steady-state, want 0", allocs)
+	}
+}
+
+// TestReceptionRecordsPooled pins the collision-model satellite: completed
+// reception records recycle instead of accumulating over long runs.
+func TestReceptionRecordsPooled(t *testing.T) {
+	s := sim.New(1)
+	pts := &mobility.Static{Points: []mobility.Point{{X: 0}, {X: 200}, {X: 400}}}
+	m := New(s, pts, Config{Collisions: true})
+	m.SetHandler(1, func(int, any) {})
+	for i := 0; i < 2000; i++ {
+		m.Unicast(0, 1, 64, i)
+		m.Unicast(2, 1, 64, i)
+		s.Run(time.Duration(i+1) * 50 * time.Millisecond)
+	}
+	if live := len(m.recv[1]); live > 8 {
+		t.Fatalf("reception list grew to %d entries; pruning/pooling broken", live)
+	}
+	if len(m.recPool) == 0 {
+		t.Fatal("no reception records ever recycled")
+	}
+}
+
+// FuzzNeighborsGridVsNaive fuzzes the differential property: arbitrary
+// seeds, query times, down masks and fault windows must never make the
+// indexed neighbor sets diverge from the naive scan.
+func FuzzNeighborsGridVsNaive(f *testing.F) {
+	f.Add(int64(1), uint16(0), uint16(3000), uint32(0), uint16(100), uint16(600))
+	f.Add(int64(42), uint16(500), uint16(9999), uint32(0b1010), uint16(0), uint16(65535))
+	f.Add(int64(-7), uint16(65535), uint16(1), uint32(^uint32(0)), uint16(250), uint16(250))
+	f.Fuzz(func(t *testing.T, seed int64, t1ms, t2ms uint16, downMask uint32, regX, regR uint16) {
+		const n = 24
+		s := sim.New(seed)
+		mob := mobility.NewRandomWaypoint(mobility.RandomWaypointConfig{
+			Width: 1500, Height: 300, MaxSpeed: 20,
+		}, n, 70*time.Second, rand.New(rand.NewSource(seed)))
+		m := New(s, mob, Config{Range: 250})
+
+		for i := 0; i < 32 && i < n; i++ {
+			if downMask&(1<<i) != 0 {
+				m.SetNodeDown(i, true)
+			}
+		}
+		m.AddLinkOutage(int(t1ms)%n, int(t2ms)%n, 0, time.Duration(t2ms)*time.Millisecond)
+		m.AddRegionOutage(mobility.Point{X: float64(regX), Y: 150}, float64(regR),
+			time.Duration(t1ms)*time.Millisecond, 60*time.Second)
+
+		times := []time.Duration{
+			time.Duration(t1ms) * time.Millisecond,
+			time.Duration(t2ms) * time.Millisecond,
+		}
+		slices.Sort(times)
+		for _, target := range times {
+			s.Run(target)
+			for node := 0; node < n; node++ {
+				grid := m.AppendNeighbors(node, nil)
+				naive := m.NeighborsNaive(node)
+				if !slices.Equal(grid, naive) {
+					t.Fatalf("t=%v node %d: grid=%v naive=%v", target, node, grid, naive)
+				}
+			}
+		}
+	})
+}
+
+// benchMedium builds an n-node medium at the paper's node density
+// (22500 m² per node) with handlers installed.
+func benchMedium(n int, noIndex bool) (*sim.Simulator, *Medium) {
+	side := 150 * float64(n) // keep width×300 at constant density
+	s := sim.New(1)
+	mob := mobility.NewRandomWaypoint(mobility.RandomWaypointConfig{
+		Width: side, Height: 300, MaxSpeed: 20,
+	}, n, 300*time.Second, rand.New(rand.NewSource(1)))
+	m := New(s, mob, Config{Range: 250, NoIndex: noIndex})
+	for i := 0; i < n; i++ {
+		m.SetHandler(i, func(int, any) {})
+	}
+	return s, m
+}
+
+var benchSizes = []int{20, 100, 500, 2000}
+
+// BenchmarkNeighbors measures one neighbor lookup, naive scan vs spatial
+// index, at constant node density.
+func BenchmarkNeighbors(b *testing.B) {
+	for _, n := range benchSizes {
+		for _, mode := range []string{"naive", "grid"} {
+			b.Run(fmt.Sprintf("%s/n=%d", mode, n), func(b *testing.B) {
+				s, m := benchMedium(n, mode == "naive")
+				s.Run(time.Second)
+				buf := make([]int, 0, n)
+				buf = m.AppendNeighbors(0, buf[:0])
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					buf = m.AppendNeighbors(i%n, buf[:0])
+				}
+				_ = buf
+			})
+		}
+	}
+}
+
+// BenchmarkBroadcastWave measures a full wave — every node broadcasts once
+// and all deliveries drain — naive vs grid, at constant node density.
+func BenchmarkBroadcastWave(b *testing.B) {
+	for _, n := range benchSizes {
+		for _, mode := range []string{"naive", "grid"} {
+			b.Run(fmt.Sprintf("%s/n=%d", mode, n), func(b *testing.B) {
+				s, m := benchMedium(n, mode == "naive")
+				payload := any("x")
+				for i := 0; i < n; i++ {
+					m.Broadcast(i, 64, payload)
+				}
+				s.RunAll()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for node := 0; node < n; node++ {
+						m.Broadcast(node, 64, payload)
+					}
+					s.RunAll()
+				}
+			})
+		}
+	}
+}

@@ -4,10 +4,19 @@
 // optional receiver-side collision model. It stands in for QualNet's
 // 802.11-style PHY/MAC at the fidelity the paper's routing experiments
 // need (see DESIGN.md §1).
+//
+// Neighbor discovery runs through a uniform-grid spatial index (grid.go)
+// rebuilt lazily per virtual-time epoch from the mobility model's
+// piecewise-linear legs, so a broadcast wave costs O(degree) per sender
+// instead of O(n); the pre-index all-pairs scan survives as
+// NeighborsNaive, the differential oracle. Transmissions, deliveries and
+// collision records are pooled sim.Actions, keeping the whole broadcast
+// hot path allocation-free.
 package radio
 
 import (
 	"math"
+	"slices"
 	"time"
 
 	"mccls/internal/mobility"
@@ -36,6 +45,15 @@ type Config struct {
 	// arriving at the same node with overlapping air time corrupt each
 	// other.
 	Collisions bool
+	// IndexEpoch is the spatial index's validity window (default 1s): the
+	// grid indexes where every node can be over the next epoch and is only
+	// rebuilt when the clock leaves the window. Longer epochs rebuild less
+	// but fatten each node's cell footprint by its reachable area.
+	IndexEpoch time.Duration
+	// NoIndex disables the spatial index, forcing the naive O(n) neighbor
+	// scan on every lookup. The naive path is the differential oracle the
+	// grid is tested against, and the baseline the benchmarks compare to.
+	NoIndex bool
 }
 
 func (c Config) withDefaults() Config {
@@ -47,6 +65,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MACDelayMax == 0 {
 		c.MACDelayMax = 2 * time.Millisecond
+	}
+	if c.IndexEpoch == 0 {
+		c.IndexEpoch = time.Second
 	}
 	return c
 }
@@ -64,7 +85,9 @@ type Stats struct {
 }
 
 // reception tracks one in-flight frame at a receiver for the collision
-// model.
+// model. Records are pooled: trackReception recycles every reception whose
+// air time has strictly passed, so per-node lists stay bounded by the
+// number of simultaneously in-flight frames even over long runs.
 type reception struct {
 	start, end sim.Time
 	corrupted  bool
@@ -77,6 +100,22 @@ type Medium struct {
 	cfg  Config
 	hand []Handler
 	recv [][]*reception
+
+	// grid is the spatial neighbor index (nil under Config.NoIndex);
+	// ranges overrides per-node radio ranges (nil = homogeneous
+	// Config.Range).
+	grid   *grid
+	ranges []float64
+
+	// Scratch buffers and free lists for the allocation-free hot path:
+	// nbuf holds the neighbor set of the in-flight broadcast, cbuf the
+	// grid's candidate ids, and the pools recycle transmission, delivery
+	// and reception records.
+	nbuf    []int
+	cbuf    []int32
+	txPool  []*txJob
+	dlvPool []*delivery
+	recPool []*reception
 
 	// Fault-injection state (see faults.go): powered-off radios and
 	// time-windowed link/region outages and loss degradation.
@@ -91,14 +130,19 @@ type Medium struct {
 
 // New builds a medium over the given mobility model.
 func New(s *sim.Simulator, mob mobility.Model, cfg Config) *Medium {
-	return &Medium{
+	cfg = cfg.withDefaults()
+	m := &Medium{
 		sim:  s,
 		mob:  mob,
-		cfg:  cfg.withDefaults(),
+		cfg:  cfg,
 		hand: make([]Handler, mob.Nodes()),
 		recv: make([][]*reception, mob.Nodes()),
 		down: make([]bool, mob.Nodes()),
 	}
+	if !cfg.NoIndex {
+		m.grid = newGrid(mob, cfg.Range, cfg.IndexEpoch)
+	}
+	return m
 }
 
 // Nodes returns the number of attached nodes.
@@ -117,8 +161,30 @@ func (m *Medium) Position(node int) mobility.Point {
 	return m.mob.Position(node, m.sim.Now())
 }
 
+// SetNodeRange overrides one node's radio range (heterogeneous radios).
+// The link rule stays symmetric: two nodes hear each other iff their
+// distance is within the smaller of their ranges, keeping every link
+// bidirectional the way AODV's HELLO/ACK machinery assumes.
+func (m *Medium) SetNodeRange(node int, r float64) {
+	if m.ranges == nil {
+		m.ranges = make([]float64, m.Nodes())
+		for i := range m.ranges {
+			m.ranges[i] = m.cfg.Range
+		}
+	}
+	m.ranges[node] = r
+}
+
+// rangeOf returns a node's radio range.
+func (m *Medium) rangeOf(node int) float64 {
+	if m.ranges == nil {
+		return m.cfg.Range
+	}
+	return m.ranges[node]
+}
+
 // InRange reports whether two nodes can currently hear each other: within
-// radio range, both radios powered, and no fault window severing the link.
+// both radios' range, both powered, and no fault window severing the link.
 func (m *Medium) InRange(a, b int) bool {
 	if a == b {
 		return false
@@ -126,21 +192,79 @@ func (m *Medium) InRange(a, b int) bool {
 	if m.down[a] || m.down[b] {
 		return false
 	}
-	if m.Position(a).Dist(m.Position(b)) > m.cfg.Range {
+	if m.Position(a).Dist(m.Position(b)) > math.Min(m.rangeOf(a), m.rangeOf(b)) {
 		return false
 	}
 	return !m.linkFaulted(a, b)
 }
 
-// Neighbors returns the nodes currently within range of node.
+// Neighbors returns the nodes currently within range of node, in ascending
+// id order. It allocates a fresh slice; hot paths should use
+// AppendNeighbors with a reused buffer instead.
 func (m *Medium) Neighbors(node int) []int {
-	var out []int
+	return m.AppendNeighbors(node, nil)
+}
+
+// AppendNeighbors appends the nodes currently within range of node to buf
+// in ascending id order and returns the extended slice. With the spatial
+// index enabled it scans only the grid cells within radio range — O(degree)
+// instead of O(n) — and performs no allocation beyond growing buf.
+func (m *Medium) AppendNeighbors(node int, buf []int) []int {
+	if m.grid == nil {
+		return m.appendNeighborsNaive(node, buf)
+	}
+	if m.down[node] {
+		return buf
+	}
+	now := m.sim.Now()
+	m.grid.ensure(now)
+	r := m.rangeOf(node)
+	p := m.mob.Position(node, now)
+	m.cbuf = m.grid.appendCandidates(p, r, m.cbuf[:0])
+	start := len(buf)
+	for _, id := range m.cbuf {
+		other := int(id)
+		if other == node || m.down[other] {
+			continue
+		}
+		if p.Dist(m.mob.Position(other, now)) > math.Min(r, m.rangeOf(other)) {
+			continue
+		}
+		if m.linkFaulted(node, other) {
+			continue
+		}
+		buf = append(buf, other)
+	}
+	// Candidates arrive in cell order; the naive scan defines the
+	// canonical ascending-id order.
+	slices.Sort(buf[start:])
+	return buf
+}
+
+// NeighborsNaive returns the neighbor set by the pre-index all-pairs scan.
+// It is the differential oracle the spatial index is pinned against
+// (TestNeighborsGridMatchesNaive, FuzzNeighborsGridVsNaive) and the
+// baseline of the neighbor benchmarks.
+func (m *Medium) NeighborsNaive(node int) []int {
+	return m.appendNeighborsNaive(node, nil)
+}
+
+func (m *Medium) appendNeighborsNaive(node int, buf []int) []int {
 	for other := 0; other < m.Nodes(); other++ {
 		if other != node && m.InRange(node, other) {
-			out = append(out, other)
+			buf = append(buf, other)
 		}
 	}
-	return out
+	return buf
+}
+
+// GridStats reports the spatial index's counters (zero when the index is
+// disabled).
+func (m *Medium) GridStats() GridStats {
+	if m.grid == nil {
+		return GridStats{}
+	}
+	return m.grid.stats
 }
 
 // serialization returns the air time of a frame of the given size.
@@ -161,8 +285,102 @@ func (m *Medium) macDelay() time.Duration {
 	return time.Duration(m.sim.Rand().Int63n(int64(m.cfg.MACDelayMax)))
 }
 
+// txJob is a pooled transmission event: the frame waiting out its MAC
+// delay. to == Broadcast fans out to every neighbor at fire time.
+type txJob struct {
+	m       *Medium
+	from    int
+	to      int
+	bytes   int
+	payload any
+}
+
+// Fire transmits the frame. Neighbor membership of a broadcast is evaluated
+// at the (jittered) transmission start, matching a real channel where
+// movement during backoff changes the audience.
+func (j *txJob) Fire() {
+	m := j.m
+	txStart := m.sim.Now()
+	if j.to == Broadcast {
+		m.nbuf = m.AppendNeighbors(j.from, m.nbuf[:0])
+		for _, to := range m.nbuf {
+			m.deliver(j.from, to, j.bytes, j.payload, txStart)
+		}
+	} else {
+		m.deliver(j.from, j.to, j.bytes, j.payload, txStart)
+	}
+	j.payload = nil
+	m.txPool = append(m.txPool, j)
+}
+
+// newTxJob takes a transmission record from the pool.
+func (m *Medium) newTxJob(from, to, bytes int, payload any) *txJob {
+	var j *txJob
+	if n := len(m.txPool); n > 0 {
+		j = m.txPool[n-1]
+		m.txPool[n-1] = nil
+		m.txPool = m.txPool[:n-1]
+	} else {
+		j = &txJob{m: m}
+	}
+	j.from, j.to, j.bytes, j.payload = from, to, bytes, payload
+	return j
+}
+
+// delivery is a pooled arrival event: one frame landing at one receiver.
+type delivery struct {
+	m       *Medium
+	from    int
+	to      int
+	payload any
+	rec     *reception
+}
+
+// Fire lands the frame: a collision-corrupted reception is counted and
+// dropped, anything else goes to the receiver's handler.
+func (d *delivery) Fire() {
+	m := d.m
+	if d.rec != nil && d.rec.corrupted {
+		m.Stats.Collided++
+	} else if h := m.hand[d.to]; h != nil {
+		m.Stats.Deliveries++
+		h(d.from, d.payload)
+	}
+	d.payload, d.rec = nil, nil
+	m.dlvPool = append(m.dlvPool, d)
+}
+
+// newDelivery takes a delivery record from the pool.
+func (m *Medium) newDelivery(from, to int, payload any, rec *reception) *delivery {
+	var d *delivery
+	if n := len(m.dlvPool); n > 0 {
+		d = m.dlvPool[n-1]
+		m.dlvPool[n-1] = nil
+		m.dlvPool = m.dlvPool[:n-1]
+	} else {
+		d = &delivery{m: m}
+	}
+	d.from, d.to, d.payload, d.rec = from, to, payload, rec
+	return d
+}
+
+// newReception takes a collision record from the pool.
+func (m *Medium) newReception(start, end sim.Time) *reception {
+	var r *reception
+	if n := len(m.recPool); n > 0 {
+		r = m.recPool[n-1]
+		m.recPool[n-1] = nil
+		m.recPool = m.recPool[:n-1]
+	} else {
+		r = &reception{}
+	}
+	r.start, r.end, r.corrupted = start, end, false
+	return r
+}
+
 // deliver schedules the arrival of a frame at one receiver, applying loss
-// and (optionally) collision corruption.
+// and (optionally) collision corruption. It must be called at virtual time
+// txStart.
 func (m *Medium) deliver(from, to int, bytes int, payload any, txStart sim.Time) {
 	dist := m.mob.Position(from, txStart).Dist(m.mob.Position(to, txStart))
 	arrive := txStart + m.serialization(bytes) + propagation(dist)
@@ -174,27 +392,25 @@ func (m *Medium) deliver(from, to int, bytes int, payload any, txStart sim.Time)
 
 	var rec *reception
 	if m.cfg.Collisions {
-		rec = &reception{start: txStart, end: arrive}
+		rec = m.newReception(txStart, arrive)
 		m.trackReception(to, rec)
 	}
-	m.sim.ScheduleAt(arrive, func() {
-		if rec != nil && rec.corrupted {
-			m.Stats.Collided++
-			return
-		}
-		if h := m.hand[to]; h != nil {
-			m.Stats.Deliveries++
-			h(from, payload)
-		}
-	})
+	m.sim.ScheduleActionAt(arrive, m.newDelivery(from, to, payload, rec))
 }
 
 // trackReception records a reception interval and corrupts any overlapping
 // ones (including the new one), pruning completed intervals as it goes.
+// Strictly-finished records recycle through the pool: their delivery events
+// (scheduled at their end time) have already fired, so the list held the
+// last reference. A record ending exactly now may not have fired yet and is
+// dropped to the garbage collector instead.
 func (m *Medium) trackReception(node int, rec *reception) {
 	live := m.recv[node][:0]
 	for _, other := range m.recv[node] {
 		if other.end <= rec.start {
+			if other.end < rec.start {
+				m.recPool = append(m.recPool, other)
+			}
 			continue // finished before we started; prune
 		}
 		if other.start < rec.end && rec.start < other.end {
@@ -206,19 +422,12 @@ func (m *Medium) trackReception(node int, rec *reception) {
 	m.recv[node] = append(live, rec)
 }
 
-// Broadcast transmits a frame to every node currently in range. Neighbor
-// membership is evaluated at the (jittered) transmission start, matching a
-// real channel where movement during backoff changes the audience.
+// Broadcast transmits a frame to every node in range at the (jittered)
+// transmission start.
 func (m *Medium) Broadcast(from int, bytes int, payload any) {
 	m.Stats.BroadcastSent++
 	m.Stats.BytesOnAir += uint64(bytes)
-	delay := m.macDelay()
-	m.sim.Schedule(delay, func() {
-		txStart := m.sim.Now()
-		for _, to := range m.Neighbors(from) {
-			m.deliver(from, to, bytes, payload, txStart)
-		}
-	})
+	m.sim.ScheduleAction(m.macDelay(), m.newTxJob(from, Broadcast, bytes, payload))
 }
 
 // Unicast transmits a frame to one neighbor. It returns false — modelling
@@ -234,10 +443,7 @@ func (m *Medium) Unicast(from, to int, bytes int, payload any) bool {
 		return false
 	}
 	m.Stats.BytesOnAir += uint64(bytes)
-	delay := m.macDelay()
-	m.sim.Schedule(delay, func() {
-		m.deliver(from, to, bytes, payload, m.sim.Now())
-	})
+	m.sim.ScheduleAction(m.macDelay(), m.newTxJob(from, to, bytes, payload))
 	return true
 }
 

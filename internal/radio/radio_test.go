@@ -141,7 +141,9 @@ func TestMobilityChangesConnectivity(t *testing.T) {
 	}
 }
 
-// movingAway is a two-node model where node 1 recedes at 10 m/s.
+// movingAway is a two-node model where node 1 recedes at 10 m/s. It
+// reports no trajectory information (degenerate legs), exercising the
+// spatial index's per-instant rebuild fallback.
 type movingAway struct{}
 
 func (*movingAway) Nodes() int { return 2 }
@@ -150,4 +152,9 @@ func (*movingAway) Position(node int, t time.Duration) mobility.Point {
 		return mobility.Point{}
 	}
 	return mobility.Point{X: 100 + 10*t.Seconds()}
+}
+
+func (m *movingAway) Leg(node int, t time.Duration) (from, to mobility.Point, t0, t1 time.Duration) {
+	p := m.Position(node, t)
+	return p, p, t, t
 }

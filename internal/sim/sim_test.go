@@ -160,6 +160,74 @@ func TestInterruptPolledMidRun(t *testing.T) {
 	}
 }
 
+func TestEventPoolRecyclesAndTracksPeak(t *testing.T) {
+	s := New(1)
+	// A self-rescheduling chain: after the first event, every schedule can
+	// reuse the record the previous event released.
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < 1000 {
+			s.Schedule(time.Millisecond, tick)
+		}
+	}
+	s.Schedule(0, tick)
+	s.RunAll()
+	if n != 1000 {
+		t.Fatalf("chain ran %d times, want 1000", n)
+	}
+	// Two records, not one: an event schedules its successor before it is
+	// itself released, so the chain ping-pongs between two pooled records.
+	if got := s.EventAllocs(); got != 2 {
+		t.Fatalf("chain of 1000 events allocated %d records, want 2 (pooled)", got)
+	}
+	if s.PeakQueue() != 1 {
+		t.Fatalf("peak queue = %d, want 1", s.PeakQueue())
+	}
+}
+
+func TestPeakQueueHighWaterMark(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 17; i++ {
+		s.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	if s.PeakQueue() != 17 {
+		t.Fatalf("peak queue = %d, want 17", s.PeakQueue())
+	}
+	s.RunAll()
+	if s.PeakQueue() != 17 {
+		t.Fatalf("peak must persist after the run, got %d", s.PeakQueue())
+	}
+	if s.EventAllocs() != 17 {
+		t.Fatalf("allocs = %d, want 17 (all queued at once)", s.EventAllocs())
+	}
+	// A second burst of the same size reuses every record.
+	for i := 0; i < 17; i++ {
+		s.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	s.RunAll()
+	if s.EventAllocs() != 17 {
+		t.Fatalf("allocs grew to %d on a reusable burst", s.EventAllocs())
+	}
+}
+
+// TestScheduleSteadyStateZeroAlloc pins the zero-allocation guarantee of the
+// schedule/run cycle once the pool is warm.
+func TestScheduleSteadyStateZeroAlloc(t *testing.T) {
+	s := New(1)
+	fn := func() {}
+	s.Schedule(0, fn)
+	s.RunAll()
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Schedule(0, fn)
+		s.RunAll()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state schedule/run allocates %.1f/op, want 0", allocs)
+	}
+}
+
 func TestDeterminism(t *testing.T) {
 	run := func() []int64 {
 		s := New(42)

@@ -28,6 +28,7 @@ import (
 	"mccls/internal/experiments"
 	"mccls/internal/fault"
 	"mccls/internal/metrics"
+	"mccls/internal/radio"
 	"mccls/internal/secrouting"
 )
 
@@ -65,6 +66,20 @@ type (
 	AttackMode = experiments.AttackMode
 	// Table1Row is one scheme's Table 1 entry with measured timings.
 	Table1Row = experiments.Table1Row
+
+	// MobilityModel selects the movement model (random waypoint, Manhattan
+	// street grid, or highway lanes).
+	MobilityModel = experiments.MobilityModel
+	// GridStats reports the spatial neighbor index's work for one run
+	// (rebuilds, occupied cells, per-query candidate counts).
+	GridStats = radio.GridStats
+	// CityConfig drives the city-scale node-count sweep (figures 9–10):
+	// AODV vs McCLS on a Manhattan street grid with heterogeneous radio
+	// ranges as the network densifies.
+	CityConfig = experiments.CityConfig
+	// MediumAblationResult is the broadcast-wave events/sec comparison of
+	// the naive neighbor scan against the spatial index.
+	MediumAblationResult = experiments.MediumAblationResult
 
 	// ResilienceConfig drives the churn sweep (figures 7–8): plain AODV vs
 	// McCLS-AODV with online enrollment as crash/restart events grow.
@@ -117,6 +132,18 @@ const (
 	Grayhole = experiments.Grayhole
 )
 
+// Mobility models.
+const (
+	// RandomWaypoint is the paper's model and the Scenario zero value.
+	RandomWaypoint = experiments.RandomWaypointMobility
+	// Manhattan constrains nodes to a grid of orthogonal streets with
+	// probabilistic turns — the urban city-scale pattern.
+	Manhattan = experiments.ManhattanMobility
+	// Highway moves nodes along parallel wrap-around lanes, alternating
+	// direction by lane.
+	Highway = experiments.HighwayMobility
+)
+
 // ExplicitZero marks a numeric Scenario field as "really zero" where the
 // plain zero value would select a paper default: Attackers: ExplicitZero
 // means no attackers, GrayholeDropProb: ExplicitZero a gray hole that
@@ -138,6 +165,16 @@ var (
 	// AODV vs the full McCLS stack re-enrolling through an in-network KGC.
 	FigureResilience         = experiments.FigureResilience
 	FigureResilienceOverhead = experiments.FigureResilienceOverhead
+
+	// FigureCityPDR (fig9) and FigureCityOverhead (fig10) sweep node count
+	// instead of speed: delivery and control overhead at city scale, on a
+	// Manhattan street grid with heterogeneous radio ranges.
+	FigureCityPDR      = experiments.FigureCityPDR
+	FigureCityOverhead = experiments.FigureCityOverhead
+
+	// RunMediumAblation times identical broadcast-wave workloads through
+	// the naive O(n²) medium and the spatial index at a given node count.
+	RunMediumAblation = experiments.RunMediumAblation
 )
 
 // Table1 regenerates the paper's scheme-comparison table with measured
