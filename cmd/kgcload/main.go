@@ -1,0 +1,331 @@
+// Command kgcload is a closed-loop load generator for the kgcd enrollment
+// service: C workers keep one enrollment in flight each, driving the
+// combiner through two phases — a *cold* phase of unique identities (every
+// request pays t-of-n signer fan-out and Lagrange combination) and a
+// *warm* phase drawing identities from a bounded pool (mostly LRU cache
+// hits, the re-enrolling-fleet steady state). It reports p50/p95/p99
+// latency, throughput and cache-hit rate per phase, plus the server's own
+// counters scraped from /metrics, into a BENCH_kgc.json.
+//
+//	kgcload -t 2 -n 3 -requests 100000 -cold 10000 -concurrency 32 -json BENCH_kgc.json
+//	kgcload -addr http://10.0.0.1:7600 -requests 50000
+//
+// With no -addr it self-hosts an all-in-one t-of-n deployment on loopback
+// (rate limiting disabled so the bench measures issuance and caching, not
+// the limiter). Exits nonzero if no enrollment succeeds.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mccls/internal/kgcd"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "kgcload:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	addr        string
+	t, n        int
+	requests    int
+	cold        int
+	warmIDs     int
+	concurrency int
+	validate    int
+	seed        int64
+	jsonPath    string
+	timeout     time.Duration
+}
+
+func parseOptions(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("kgcload", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", "", "kgcd combiner base URL (empty self-hosts a loopback deployment)")
+	fs.IntVar(&o.t, "t", 2, "self-host quorum")
+	fs.IntVar(&o.n, "n", 3, "self-host replica count")
+	fs.IntVar(&o.requests, "requests", 100000, "total enrollment requests across both phases")
+	fs.IntVar(&o.cold, "cold", 10000, "cold-phase requests (unique identities)")
+	fs.IntVar(&o.warmIDs, "warmids", 1000, "identity pool size for the warm phase")
+	fs.IntVar(&o.concurrency, "concurrency", 32, "concurrent workers")
+	fs.IntVar(&o.validate, "validate", 4, "sampled enrollments to pairing-check after the run")
+	fs.Int64Var(&o.seed, "seed", 1, "seed for warm-phase identity draws")
+	fs.StringVar(&o.jsonPath, "json", "", "write the report to this file")
+	fs.DurationVar(&o.timeout, "reqtimeout", 10*time.Second, "per-request client timeout")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if o.requests < 1 || o.cold < 0 || o.cold > o.requests {
+		return o, fmt.Errorf("need 0 ≤ cold ≤ requests and requests ≥ 1")
+	}
+	if o.concurrency < 1 {
+		return o, fmt.Errorf("concurrency must be ≥ 1")
+	}
+	if o.warmIDs < 1 {
+		o.warmIDs = 1
+	}
+	return o, nil
+}
+
+// latencySummary is percentile statistics over one phase, in microseconds.
+type latencySummary struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// phaseReport is one phase's results.
+type phaseReport struct {
+	Name          string         `json:"name"`
+	Requests      int            `json:"requests"`
+	Success       int            `json:"success"`
+	Errors        int            `json:"errors"`
+	WallSeconds   float64        `json:"wall_seconds"`
+	ThroughputRPS float64        `json:"throughput_rps"`
+	CacheHitRate  float64        `json:"cache_hit_rate"`
+	LatencyMicros latencySummary `json:"latency_us"`
+}
+
+// report is the full BENCH_kgc.json payload.
+type report struct {
+	GeneratedUnix int64             `json:"generated_unix"`
+	Target        string            `json:"target"`
+	SelfHost      bool              `json:"selfhost"`
+	T             int               `json:"t"`
+	N             int               `json:"n"`
+	Concurrency   int               `json:"concurrency"`
+	Requests      int               `json:"requests"`
+	Phases        []phaseReport     `json:"phases"`
+	TotalSuccess  int               `json:"total_success"`
+	Validated     int               `json:"validated"`
+	ServerMetrics map[string]uint64 `json:"server_metrics,omitempty"`
+}
+
+func run(args []string, out *os.File) error {
+	o, err := parseOptions(args)
+	if err != nil {
+		return err
+	}
+
+	target := o.addr
+	selfHost := target == ""
+	if selfHost {
+		cl, err := kgcd.StartCluster(kgcd.ClusterConfig{
+			T: o.t, N: o.n,
+			Combiner: kgcd.Config{RatePerSec: -1},
+		})
+		if err != nil {
+			return fmt.Errorf("self-host: %w", err)
+		}
+		defer cl.Close()
+		target = cl.URL
+		fmt.Fprintf(out, "kgcload: self-hosted %d-of-%d kgcd on %s\n", o.t, o.n, target)
+	}
+
+	// One shared client; enough idle conns that workers reuse connections
+	// instead of churning through TIME_WAIT sockets.
+	hc := &http.Client{
+		Timeout: o.timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        o.concurrency * 2,
+			MaxIdleConnsPerHost: o.concurrency * 2,
+		},
+	}
+	client := kgcd.NewClient(target, hc)
+	ctx := context.Background()
+
+	rep := report{
+		GeneratedUnix: time.Now().Unix(),
+		Target:        target,
+		SelfHost:      selfHost,
+		T:             o.t,
+		N:             o.n,
+		Concurrency:   o.concurrency,
+		Requests:      o.requests,
+	}
+
+	coldID := func(i int) string { return fmt.Sprintf("load-node-%08d", i) }
+
+	// Cold phase: every identity fresh.
+	if o.cold > 0 {
+		ids := make([]string, o.cold)
+		for i := range ids {
+			ids[i] = coldID(i)
+		}
+		rep.Phases = append(rep.Phases, runPhase(ctx, "cold", client, ids, o.concurrency, out))
+	}
+
+	// Warm phase: identities drawn (seeded, so runs are comparable) from a
+	// pool that overlaps the cold set, so the first touch of each pool
+	// entry may miss and everything after hits the LRU.
+	if warm := o.requests - o.cold; warm > 0 {
+		rng := rand.New(rand.NewSource(o.seed))
+		ids := make([]string, warm)
+		for i := range ids {
+			ids[i] = coldID(rng.Intn(o.warmIDs))
+		}
+		rep.Phases = append(rep.Phases, runPhase(ctx, "warm", client, ids, o.concurrency, out))
+	}
+
+	for _, ph := range rep.Phases {
+		rep.TotalSuccess += ph.Success
+	}
+
+	// Spot-check the cryptography end to end: re-enroll a few identities
+	// and run the full pairing validation against the served parameters.
+	if o.validate > 0 && rep.TotalSuccess > 0 {
+		params, err := client.Params(ctx)
+		if err != nil {
+			return fmt.Errorf("fetch params for validation: %w", err)
+		}
+		for i := 0; i < o.validate; i++ {
+			res, err := client.Enroll(ctx, coldID(i))
+			if err != nil {
+				return fmt.Errorf("validation enroll %d: %w", i, err)
+			}
+			if err := res.PartialKey.Validate(params); err != nil {
+				return fmt.Errorf("validation %d: served partial key invalid: %w", i, err)
+			}
+			rep.Validated++
+		}
+	}
+
+	if metricsText, err := client.RawMetrics(ctx); err == nil {
+		rep.ServerMetrics = scrapeCounters(metricsText)
+	}
+
+	for _, ph := range rep.Phases {
+		fmt.Fprintf(out,
+			"kgcload: %-4s %7d reqs %6.0f req/s  p50 %6.0fµs  p95 %6.0fµs  p99 %6.0fµs  hit %4.1f%%  errors %d\n",
+			ph.Name, ph.Requests, ph.ThroughputRPS,
+			ph.LatencyMicros.P50, ph.LatencyMicros.P95, ph.LatencyMicros.P99,
+			100*ph.CacheHitRate, ph.Errors)
+	}
+
+	if o.jsonPath != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.jsonPath, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "kgcload: report → %s\n", o.jsonPath)
+	}
+	if rep.TotalSuccess == 0 {
+		return fmt.Errorf("no enrollment succeeded")
+	}
+	return nil
+}
+
+// runPhase drives len(ids) enrollments through the workers and summarizes.
+func runPhase(ctx context.Context, name string, client *kgcd.Client, ids []string, concurrency int, out *os.File) phaseReport {
+	latencies := make([]int64, len(ids)) // nanoseconds; 0 = failed
+	var hits, errs, next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ids) {
+					return
+				}
+				t0 := time.Now()
+				res, err := client.Enroll(ctx, ids[i])
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				latencies[i] = time.Since(t0).Nanoseconds()
+				if res.Cached {
+					hits.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	ok := make([]int64, 0, len(ids))
+	for _, l := range latencies {
+		if l > 0 {
+			ok = append(ok, l)
+		}
+	}
+	ph := phaseReport{
+		Name:          name,
+		Requests:      len(ids),
+		Success:       len(ok),
+		Errors:        int(errs.Load()),
+		WallSeconds:   wall.Seconds(),
+		LatencyMicros: summarize(ok),
+	}
+	if wall > 0 {
+		ph.ThroughputRPS = float64(len(ok)) / wall.Seconds()
+	}
+	if len(ok) > 0 {
+		ph.CacheHitRate = float64(hits.Load()) / float64(len(ok))
+	}
+	return ph
+}
+
+// summarize computes percentile statistics in microseconds.
+func summarize(nanos []int64) latencySummary {
+	if len(nanos) == 0 {
+		return latencySummary{}
+	}
+	sorted := make([]int64, len(nanos))
+	copy(sorted, nanos)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(sorted)-1))
+		return float64(sorted[i]) / 1e3
+	}
+	sum := int64(0)
+	for _, v := range sorted {
+		sum += v
+	}
+	return latencySummary{
+		P50:  pct(0.50),
+		P90:  pct(0.90),
+		P95:  pct(0.95),
+		P99:  pct(0.99),
+		Mean: float64(sum) / float64(len(sorted)) / 1e3,
+		Max:  float64(sorted[len(sorted)-1]) / 1e3,
+	}
+}
+
+var counterLine = regexp.MustCompile(`(?m)^(kgcd_[a-z_]+_total) (\d+)$`)
+
+// scrapeCounters pulls the kgcd counters out of the Prometheus text.
+func scrapeCounters(text string) map[string]uint64 {
+	out := map[string]uint64{}
+	for _, m := range counterLine.FindAllStringSubmatch(text, -1) {
+		v, err := strconv.ParseUint(m[2], 10, 64)
+		if err == nil {
+			out[m[1]] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadSmoke drives a tiny self-hosted 2-of-3 run end to end and checks
+// the report shape: both phases present, everything succeeded, warm phase
+// hit the cache.
+func TestLoadSmoke(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	err := run([]string{
+		"-t", "2", "-n", "3",
+		"-requests", "40", "-cold", "10", "-warmids", "5",
+		"-concurrency", "4", "-validate", "2",
+		"-json", jsonPath,
+	}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalSuccess != 40 {
+		t.Fatalf("total_success = %d, want 40", rep.TotalSuccess)
+	}
+	if len(rep.Phases) != 2 || rep.Phases[0].Name != "cold" || rep.Phases[1].Name != "warm" {
+		t.Fatalf("unexpected phases: %+v", rep.Phases)
+	}
+	if rep.Phases[0].CacheHitRate != 0 {
+		t.Errorf("cold phase hit rate = %v, want 0", rep.Phases[0].CacheHitRate)
+	}
+	// 30 warm draws over a 5-identity pool: ≥25 must be hits even if every
+	// pool entry missed once.
+	if rep.Phases[1].CacheHitRate < 0.8 {
+		t.Errorf("warm phase hit rate = %v, want ≥ 0.8", rep.Phases[1].CacheHitRate)
+	}
+	if rep.Validated != 2 {
+		t.Errorf("validated = %d, want 2", rep.Validated)
+	}
+	if rep.ServerMetrics["kgcd_enroll_total"] == 0 {
+		t.Error("server metrics not scraped")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-requests", "0"},
+		{"-requests", "10", "-cold", "20"},
+		{"-concurrency", "0"},
+	} {
+		if err := run(args, os.Stdout); err == nil {
+			t.Errorf("args %v: want error", args)
+		}
+	}
+}

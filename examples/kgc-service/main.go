@@ -1,14 +1,19 @@
-// KGC service: runs the Key Generation Center as a TCP service and enrolls
-// a client over the wire — the deployment shape a real CPS fleet would use
-// (KGC at the depot, nodes enrolling before going into the field).
+// KGC service: enrolls a field node over the network — the deployment
+// shape a real CPS fleet uses (KGC at the depot, nodes enrolling before
+// going into the field). Two generations of the service are shown:
 //
-// Protocol (length-prefixed frames over one connection per request):
+//  1. The legacy single-master TCP protocol (length-prefixed frames),
+//     hardened against malicious peers: per-connection deadlines so a
+//     stalled peer cannot pin the server, and a frame-length cap checked
+//     before any allocation so a huge length prefix cannot balloon memory.
 //
-//	client → server: identity string
-//	server → client: system parameters ‖ partial private key
+//  2. The production path: a threshold 2-of-3 kgcd deployment
+//     (internal/kgcd) where each signer replica holds one Shamir share of
+//     the master secret, driven through the kgcd client library. No
+//     single server can forge partial keys.
 //
-// The client validates the partial key against the received parameters
-// (catching a tampered or misdirected response), completes its
+// In both cases the client validates the partial key against the received
+// parameters (catching a tampered or misdirected response), completes its
 // certificateless keypair locally — the KGC never sees x — then signs a
 // message and verifies it as a third party would.
 //
@@ -16,13 +21,16 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"log"
 	"net"
+	"time"
 
 	"mccls"
+	"mccls/internal/kgcd"
 )
 
 func main() {
@@ -32,6 +40,23 @@ func main() {
 }
 
 func run() error {
+	if err := legacyTCPDemo(); err != nil {
+		return fmt.Errorf("legacy TCP service: %w", err)
+	}
+	return thresholdDemo()
+}
+
+// --- Part 1: hardened legacy single-master TCP service -------------------
+
+// connDeadline bounds one enrollment exchange end to end; a peer that
+// stalls mid-frame is cut off instead of holding the connection forever.
+const connDeadline = 5 * time.Second
+
+// maxFrame caps a frame before any allocation. Identities and key
+// material are well under 4 KiB; anything larger is an attack or a bug.
+const maxFrame = 4 << 10
+
+func legacyTCPDemo() error {
 	kgc, err := mccls.Setup(nil)
 	if err != nil {
 		return err
@@ -42,12 +67,12 @@ func run() error {
 		return err
 	}
 	defer ln.Close()
-	fmt.Printf("KGC listening on %s\n", ln.Addr())
+	fmt.Printf("legacy KGC listening on %s\n", ln.Addr())
 
 	serverErr := make(chan error, 1)
 	go func() { serverErr <- serveOne(ln, kgc) }()
 
-	if err := enrollAndSign(ln.Addr().String()); err != nil {
+	if err := enrollTCPAndSign(ln.Addr().String()); err != nil {
 		return err
 	}
 	return <-serverErr
@@ -60,12 +85,15 @@ func serveOne(ln net.Listener, kgc *mccls.KGC) error {
 		return err
 	}
 	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(connDeadline)); err != nil {
+		return err
+	}
 	idBytes, err := readFrame(conn)
 	if err != nil {
 		return fmt.Errorf("kgc: read identity: %w", err)
 	}
 	id := string(idBytes)
-	fmt.Printf("KGC: extracting partial private key for %q\n", id)
+	fmt.Printf("legacy KGC: extracting partial private key for %q\n", id)
 	ppk := kgc.ExtractPartialPrivateKey(id)
 	if err := writeFrame(conn, kgc.Params().Marshal()); err != nil {
 		return err
@@ -73,14 +101,16 @@ func serveOne(ln net.Listener, kgc *mccls.KGC) error {
 	return writeFrame(conn, ppk.Marshal())
 }
 
-// enrollAndSign is the field node: enroll over TCP, complete the keypair,
-// sign, verify.
-func enrollAndSign(addr string) error {
+// enrollTCPAndSign enrolls against the legacy framed-TCP server.
+func enrollTCPAndSign(addr string) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(connDeadline)); err != nil {
+		return err
+	}
 
 	const id = "pump-station-9"
 	if err := writeFrame(conn, []byte(id)); err != nil {
@@ -103,8 +133,42 @@ func enrollAndSign(addr string) error {
 	if err != nil {
 		return fmt.Errorf("bad partial key from KGC: %w", err)
 	}
-	// GenerateKeyPair validates the partial key against the parameters, so
-	// a man-in-the-middle swapping either is caught right here.
+	return completeAndSign(params, ppk, id)
+}
+
+// --- Part 2: threshold kgcd over HTTP, via the client library ------------
+
+func thresholdDemo() error {
+	// All-in-one 2-of-3 on loopback: three signer replicas (each holding
+	// one Shamir share) plus the combiner, all real HTTP listeners.
+	cluster, err := kgcd.StartCluster(kgcd.ClusterConfig{T: 2, N: 3})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	fmt.Printf("threshold KGC: 2-of-3 combiner on %s\n", cluster.URL)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	client := kgcd.NewClient(cluster.URL, nil)
+
+	params, err := client.Params(ctx)
+	if err != nil {
+		return err
+	}
+	const id = "pump-station-10"
+	res, err := client.Enroll(ctx, id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("node: enrolled %q via threshold issuance (cached=%v)\n", id, res.Cached)
+	return completeAndSign(params, res.PartialKey, id)
+}
+
+// completeAndSign is the field node's half: complete the keypair (which
+// validates the partial key — a man-in-the-middle swapping parameters or
+// key is caught right here), sign telemetry, verify as a third party.
+func completeAndSign(params *mccls.Params, ppk *mccls.PartialPrivateKey, id string) error {
 	sk, err := mccls.GenerateKeyPair(params, ppk, nil)
 	if err != nil {
 		return fmt.Errorf("enrollment rejected: %w", err)
@@ -124,6 +188,8 @@ func enrollAndSign(addr string) error {
 	return nil
 }
 
+// --- shared length-prefixed framing --------------------------------------
+
 // writeFrame sends one length-prefixed frame.
 func writeFrame(w io.Writer, data []byte) error {
 	var n [4]byte
@@ -135,15 +201,16 @@ func writeFrame(w io.Writer, data []byte) error {
 	return err
 }
 
-// readFrame receives one length-prefixed frame (1 MiB sanity cap).
+// readFrame receives one length-prefixed frame, rejecting oversized
+// lengths before allocating anything.
 func readFrame(r io.Reader) ([]byte, error) {
 	var n [4]byte
 	if _, err := io.ReadFull(r, n[:]); err != nil {
 		return nil, err
 	}
 	size := binary.BigEndian.Uint32(n[:])
-	if size > 1<<20 {
-		return nil, fmt.Errorf("frame too large: %d", size)
+	if size > maxFrame {
+		return nil, fmt.Errorf("frame too large: %d > %d", size, maxFrame)
 	}
 	buf := make([]byte, size)
 	if _, err := io.ReadFull(r, buf); err != nil {

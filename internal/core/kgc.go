@@ -56,8 +56,17 @@ type PartialPrivateKey struct {
 // ExtractPartialPrivateKey runs the Extract-Partial-Private-Key algorithm
 // for the given identity.
 func (k *KGC) ExtractPartialPrivateKey(id string) *PartialPrivateKey {
-	q := k.params.QID(id)
-	return &PartialPrivateKey{ID: id, D: new(bn254.G2).ScalarMult(q, k.master)}
+	return IssuePartialKey(k.params, id, k.master)
+}
+
+// IssuePartialKey computes k·Q_ID — the Extract-Partial-Private-Key group
+// operation with an explicit scalar. The single-master KGC calls it with
+// the master secret; a threshold share-holder (internal/threshold) calls it
+// with its Shamir share, in which case the result is a key *share*, not a
+// valid partial key, until t of them are Lagrange-combined.
+func IssuePartialKey(params *Params, id string, k *big.Int) *PartialPrivateKey {
+	q := params.QID(id)
+	return &PartialPrivateKey{ID: id, D: new(bn254.G2).ScalarMult(q, k)}
 }
 
 // Validate checks the partial key against the public parameters:

@@ -336,7 +336,14 @@ func (sc Scenario) RunContext(ctx context.Context) (Result, error) {
 				clients = append(clients, i)
 			}
 		}
-		enr = secrouting.NewEnrollment(s, medium, authority, clients, sc.Enroll)
+		enrollCfg := sc.Enroll
+		if enrollCfg.JitterSeed == 0 {
+			// Backoff jitter on its own seed-derived stream, like range
+			// jitter and churn: retry schedules must not shift any shared
+			// simulation draws.
+			enrollCfg.JitterSeed = sc.Seed ^ 0x626b6a74 // "bkjt"
+		}
+		enr = secrouting.NewEnrollment(s, medium, authority, clients, enrollCfg)
 		if err := enr.Start(); err != nil {
 			return Result{}, err
 		}

@@ -1,0 +1,88 @@
+package kgcd
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a thread-safe fixed-capacity least-recently-used map. It backs
+// both the partial-key cache (identity → marshalled key: re-enrollment
+// after a reboot is the common case in a mobile fleet, and issuance costs
+// t G2 scalar multiplications) and the rate limiter's per-identity token
+// buckets (which would otherwise grow without bound under an identity-
+// churning attacker).
+type lru[V any] struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+func newLRU[V any](max int) *lru[V] {
+	if max < 1 {
+		max = 1
+	}
+	return &lru[V]{max: max, ll: list.New(), items: make(map[string]*list.Element, max)}
+}
+
+// Get returns the value for key, marking it most recently used.
+func (c *lru[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*lruEntry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces the value for key, evicting the least recently
+// used entry when over capacity.
+func (c *lru[V]) Put(key string, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry[V]).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry[V]).key)
+	}
+}
+
+// GetOrCreate returns the value for key, inserting newV() under the lock
+// if absent — the atomic fetch-or-insert the rate limiter needs so two
+// concurrent requests for a fresh identity share one token bucket.
+func (c *lru[V]) GetOrCreate(key string, newV func() V) V {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*lruEntry[V]).val
+	}
+	v := newV()
+	c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: v})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry[V]).key)
+	}
+	return v
+}
+
+// Len reports the number of cached entries.
+func (c *lru[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

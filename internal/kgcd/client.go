@@ -1,0 +1,152 @@
+package kgcd
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"mccls/internal/core"
+)
+
+// Client is the enrollment client library: what a field node (or the load
+// harness, or the example) uses to talk to a kgcd combiner. All decoded
+// material goes through the validating Unmarshal paths, so a tampered or
+// misdirected response is rejected here.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient creates a client for a combiner base URL such as
+// "http://10.0.0.1:7600". A nil http.Client gets a 5 s overall timeout.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 5 * time.Second}
+	}
+	return &Client{base: base, hc: hc}
+}
+
+// EnrollResult is a successful enrollment: the validated partial private
+// key, and whether the combiner served it from cache.
+type EnrollResult struct {
+	PartialKey *core.PartialPrivateKey
+	Cached     bool
+}
+
+// Params fetches and validates the public system parameters.
+func (c *Client) Params(ctx context.Context) (*core.Params, error) {
+	var pr paramsResponse
+	if err := c.getJSON(ctx, "/params", &pr); err != nil {
+		return nil, err
+	}
+	raw, err := hex.DecodeString(pr.Ppub)
+	if err != nil {
+		return nil, fmt.Errorf("kgcd client: params hex: %w", err)
+	}
+	return core.UnmarshalParams(raw)
+}
+
+// Enroll requests a partial private key for an identity. The returned key
+// has passed point/subgroup validation but not the pairing check against
+// the parameters — GenerateKeyPair performs that (and must, since only the
+// enrollee knows which parameters it trusts).
+func (c *Client) Enroll(ctx context.Context, id string) (*EnrollResult, error) {
+	body, err := json.Marshal(enrollRequest{ID: id})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/enroll", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("kgcd client: enroll %s", readErrorBody(resp))
+	}
+	var er enrollResponse
+	if err := json.NewDecoder(&limitedBody{resp.Body, maxBodyBytes}).Decode(&er); err != nil {
+		return nil, fmt.Errorf("kgcd client: decode: %w", err)
+	}
+	if er.ID != id {
+		return nil, fmt.Errorf("kgcd client: reply for %q, want %q", er.ID, id)
+	}
+	raw, err := hex.DecodeString(er.PartialKey)
+	if err != nil {
+		return nil, fmt.Errorf("kgcd client: partial key hex: %w", err)
+	}
+	ppk, err := core.UnmarshalPartialPrivateKey(raw)
+	if err != nil {
+		return nil, err
+	}
+	if ppk.ID != id {
+		return nil, fmt.Errorf("kgcd client: partial key bound to %q, want %q", ppk.ID, id)
+	}
+	return &EnrollResult{PartialKey: ppk, Cached: er.Cached}, nil
+}
+
+// Healthz returns the combiner's health report; err is non-nil when the
+// service is below quorum or unreachable.
+func (c *Client) Healthz(ctx context.Context) (*healthResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var h healthResponse
+	if err := json.NewDecoder(&limitedBody{resp.Body, maxBodyBytes}).Decode(&h); err != nil {
+		return nil, fmt.Errorf("kgcd client: decode healthz: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return &h, fmt.Errorf("kgcd client: %s", h.Status)
+	}
+	return &h, nil
+}
+
+// RawMetrics fetches the Prometheus text exposition, for scraping counters
+// (the load harness reads the cache hit counters this way).
+func (c *Client) RawMetrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("kgcd client: metrics status %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	return string(raw), err
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, dst any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("kgcd client: %s %s", path, readErrorBody(resp))
+	}
+	return json.NewDecoder(&limitedBody{resp.Body, maxBodyBytes}).Decode(dst)
+}

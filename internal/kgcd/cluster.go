@@ -1,0 +1,129 @@
+package kgcd
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"net"
+	"net/http"
+	"time"
+
+	"mccls/internal/bn254"
+	"mccls/internal/core"
+	"mccls/internal/threshold"
+)
+
+// NewHTTPServer wraps a handler with the server-side timeouts every kgcd
+// listener uses: a slow-loris peer cannot hold a connection open forever.
+func NewHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      10 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+}
+
+// ClusterConfig shapes an all-in-one deployment: one process running the n
+// signer replicas (each on its own loopback listener — real HTTP traffic,
+// not function calls) plus the combiner.
+type ClusterConfig struct {
+	// T of N quorum shape.
+	T, N int
+	// Master is the master secret to shard; nil draws a fresh one from Rng.
+	Master *big.Int
+	// Rng feeds Setup and Split; nil uses crypto/rand.
+	Rng io.Reader
+	// ListenAddr is the combiner's address (default "127.0.0.1:0").
+	ListenAddr string
+	// Combiner carries cache/rate-limit/timeout tuning; Params, T and
+	// SignerURLs are filled in here.
+	Combiner Config
+}
+
+// Cluster is a running all-in-one deployment.
+type Cluster struct {
+	// URL is the combiner's base URL.
+	URL string
+	// SignerURLs are the replica base URLs.
+	SignerURLs []string
+	// Params are the public parameters the shares were split under.
+	Params *core.Params
+
+	servers   []*http.Server
+	listeners []net.Listener
+}
+
+// StartCluster shards the master secret t-of-n, starts the n signer
+// replicas and the combiner, and returns once all listeners are accepting.
+func StartCluster(cfg ClusterConfig) (*Cluster, error) {
+	master := cfg.Master
+	if master == nil {
+		var err error
+		if master, err = bn254.RandomScalar(cfg.Rng); err != nil {
+			return nil, fmt.Errorf("kgcd: draw master: %w", err)
+		}
+	}
+	kgc, err := core.NewKGCFromMaster(master)
+	if err != nil {
+		return nil, err
+	}
+	shares, err := threshold.Split(master, cfg.T, cfg.N, cfg.Rng)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Cluster{Params: kgc.Params()}
+	fail := func(err error) (*Cluster, error) {
+		c.Close()
+		return nil, err
+	}
+	for _, sh := range shares {
+		signer, err := threshold.NewSigner(kgc.Params(), sh)
+		if err != nil {
+			return fail(err)
+		}
+		u, err := c.serve("127.0.0.1:0", NewSignerHandler(signer, cfg.Combiner.MaxIDLen))
+		if err != nil {
+			return fail(err)
+		}
+		c.SignerURLs = append(c.SignerURLs, u)
+	}
+
+	combCfg := cfg.Combiner
+	combCfg.Params = kgc.Params()
+	combCfg.T = cfg.T
+	combCfg.SignerURLs = c.SignerURLs
+	srv, err := NewServer(combCfg)
+	if err != nil {
+		return fail(err)
+	}
+	addr := cfg.ListenAddr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	if c.URL, err = c.serve(addr, srv.Handler()); err != nil {
+		return fail(err)
+	}
+	return c, nil
+}
+
+func (c *Cluster) serve(addr string, h http.Handler) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := NewHTTPServer(h)
+	c.servers = append(c.servers, srv)
+	c.listeners = append(c.listeners, ln)
+	go func() { _ = srv.Serve(ln) }()
+	return "http://" + ln.Addr().String(), nil
+}
+
+// Close shuts down every listener in the cluster.
+func (c *Cluster) Close() {
+	for _, s := range c.servers {
+		_ = s.Close()
+	}
+}

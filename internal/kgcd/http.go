@@ -1,0 +1,59 @@
+package kgcd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// limitedBody is an io.Reader view of a response body capped at n bytes,
+// so a misbehaving peer cannot balloon a JSON decode.
+type limitedBody struct {
+	r io.Reader
+	n int64
+}
+
+func (l *limitedBody) Read(p []byte) (int, error) {
+	if l.n <= 0 {
+		return 0, fmt.Errorf("kgcd: response body exceeds %d bytes", maxBodyBytes)
+	}
+	if int64(len(p)) > l.n {
+		p = p[:l.n]
+	}
+	n, err := l.r.Read(p)
+	l.n -= int64(n)
+	return n, err
+}
+
+// decodeJSON decodes a request body with a hard size cap and strict field
+// checking.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("bad request body: %v", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// readErrorBody extracts the error string from a non-200 JSON response,
+// falling back to the HTTP status.
+func readErrorBody(resp *http.Response) string {
+	var er errorResponse
+	if err := json.NewDecoder(&limitedBody{resp.Body, maxBodyBytes}).Decode(&er); err == nil && er.Error != "" {
+		return fmt.Sprintf("status %d: %s", resp.StatusCode, er.Error)
+	}
+	return fmt.Sprintf("status %d", resp.StatusCode)
+}

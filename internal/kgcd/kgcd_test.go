@@ -1,0 +1,327 @@
+package kgcd
+
+import (
+	"bytes"
+	"context"
+	"math/big"
+	mrand "math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mccls/internal/bn254"
+	"mccls/internal/core"
+	"mccls/internal/threshold"
+)
+
+func testMaster(seed byte) *big.Int {
+	return bn254.HashToScalar("kgcd/test", []byte{seed})
+}
+
+// startTestDeployment runs t-of-n signer replicas on httptest servers plus
+// a combiner, returning the combiner handler's test server and the signer
+// servers (so tests can kill replicas selectively).
+func startTestDeployment(t *testing.T, tt, n int, master *big.Int, cfg Config) (*httptest.Server, []*httptest.Server, *core.KGC) {
+	t.Helper()
+	kgc, err := core.NewKGCFromMaster(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares, err := threshold.Split(master, tt, n, mrand.New(mrand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var signerSrvs []*httptest.Server
+	var urls []string
+	for _, sh := range shares {
+		signer, err := threshold.NewSigner(kgc.Params(), sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(NewSignerHandler(signer, 0))
+		t.Cleanup(ts.Close)
+		signerSrvs = append(signerSrvs, ts)
+		urls = append(urls, ts.URL)
+	}
+	cfg.Params = kgc.Params()
+	cfg.T = tt
+	cfg.SignerURLs = urls
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb := httptest.NewServer(srv.Handler())
+	t.Cleanup(comb.Close)
+	return comb, signerSrvs, kgc
+}
+
+func TestEnrollEndToEnd(t *testing.T) {
+	comb, _, kgc := startTestDeployment(t, 2, 3, testMaster(1), Config{})
+	c := NewClient(comb.URL, nil)
+	ctx := context.Background()
+
+	params, err := c.Params(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(params.Marshal(), kgc.Params().Marshal()) {
+		t.Fatal("served parameters differ from KGC's")
+	}
+
+	const id = "pump-station-9"
+	res, err := c.Enroll(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Error("first enrollment reported cached")
+	}
+	// Threshold-issued key is byte-identical to single-master issuance.
+	want := kgc.ExtractPartialPrivateKey(id)
+	if !bytes.Equal(res.PartialKey.Marshal(), want.Marshal()) {
+		t.Fatal("threshold-issued partial key differs from single master")
+	}
+
+	// Second enrollment is a cache hit with the same key.
+	res2, err := c.Enroll(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Cached {
+		t.Error("second enrollment missed the cache")
+	}
+	if !bytes.Equal(res2.PartialKey.Marshal(), res.PartialKey.Marshal()) {
+		t.Fatal("cached key differs")
+	}
+
+	// The enrolled key completes a working certificateless keypair.
+	sk, err := core.GenerateKeyPair(params, res.PartialKey, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("flow=120L/s")
+	sig, err := core.Sign(params, sk, msg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.NewVerifier(params).Verify(sk.Public(), msg, sig); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := c.Healthz(ctx); err != nil {
+		t.Fatalf("healthz at full strength: %v", err)
+	}
+}
+
+func TestEnrollSurvivesReplicaLoss(t *testing.T) {
+	comb, signers, kgc := startTestDeployment(t, 2, 3, testMaster(2), Config{})
+	c := NewClient(comb.URL, nil)
+	ctx := context.Background()
+
+	// n−t replicas down: still serving.
+	signers[0].Close()
+	res, err := c.Enroll(ctx, "node-a")
+	if err != nil {
+		t.Fatalf("enroll with 2/3 replicas: %v", err)
+	}
+	want := kgc.ExtractPartialPrivateKey("node-a")
+	if !bytes.Equal(res.PartialKey.Marshal(), want.Marshal()) {
+		t.Fatal("degraded-mode key differs from single master")
+	}
+
+	// Below quorum: enrollment fails, healthz degrades, but cached
+	// identities are still served.
+	signers[1].Close()
+	if _, err := c.Enroll(ctx, "node-b"); err == nil {
+		t.Fatal("enroll below quorum: want error")
+	}
+	if _, err := c.Healthz(ctx); err == nil {
+		t.Fatal("healthz below quorum: want error")
+	}
+	res2, err := c.Enroll(ctx, "node-a")
+	if err != nil {
+		t.Fatalf("cached enroll below quorum: %v", err)
+	}
+	if !res2.Cached {
+		t.Error("expected cache hit below quorum")
+	}
+}
+
+func TestEnrollRejectsBadRequests(t *testing.T) {
+	comb, _, _ := startTestDeployment(t, 1, 1, testMaster(3), Config{})
+	post := func(body string) int {
+		resp, err := http.Post(comb.URL+"/enroll", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := post(`{"id":""}`); got != http.StatusBadRequest {
+		t.Errorf("empty id: got %d", got)
+	}
+	if got := post(`{"id":"` + strings.Repeat("x", DefaultMaxIDLen+1) + `"}`); got != http.StatusBadRequest {
+		t.Errorf("oversized id: got %d", got)
+	}
+	if got := post(`{`); got != http.StatusBadRequest {
+		t.Errorf("malformed JSON: got %d", got)
+	}
+	if got := post(`{"id":"a","extra":1}`); got != http.StatusBadRequest {
+		t.Errorf("unknown field: got %d", got)
+	}
+	if got := post(`{"id":"` + strings.Repeat("y", maxBodyBytes) + `"}`); got != http.StatusBadRequest {
+		t.Errorf("oversized body: got %d", got)
+	}
+}
+
+func TestEnrollRateLimited(t *testing.T) {
+	comb, _, _ := startTestDeployment(t, 1, 1, testMaster(4), Config{
+		RatePerSec: 0.001, RateBurst: 2,
+	})
+	c := NewClient(comb.URL, nil)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := c.Enroll(ctx, "greedy"); err != nil {
+			t.Fatalf("enroll %d within burst: %v", i, err)
+		}
+	}
+	_, err := c.Enroll(ctx, "greedy")
+	if err == nil || !strings.Contains(err.Error(), "429") {
+		t.Fatalf("third enroll: want 429, got %v", err)
+	}
+	// Other identities are unaffected.
+	if _, err := c.Enroll(ctx, "patient"); err != nil {
+		t.Fatalf("independent identity rate limited: %v", err)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	comb, _, _ := startTestDeployment(t, 2, 2, testMaster(5), Config{})
+	c := NewClient(comb.URL, nil)
+	ctx := context.Background()
+	if _, err := c.Enroll(ctx, "m1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Enroll(ctx, "m1"); err != nil {
+		t.Fatal(err)
+	}
+	text, err := c.RawMetrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"kgcd_enroll_total 2",
+		"kgcd_cache_hits_total 1",
+		"kgcd_cache_misses_total 1",
+		"kgcd_share_requests_total 2",
+		"kgcd_enroll_latency_seconds_count 2",
+		`kgcd_enroll_latency_seconds_bucket{le="+Inf"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestStartCluster(t *testing.T) {
+	cl, err := StartCluster(ClusterConfig{
+		T: 2, N: 3,
+		Master: testMaster(6),
+		Rng:    mrand.New(mrand.NewSource(7)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if len(cl.SignerURLs) != 3 {
+		t.Fatalf("got %d signer URLs", len(cl.SignerURLs))
+	}
+	c := NewClient(cl.URL, nil)
+	res, err := c.Enroll(context.Background(), "cluster-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kgc, err := core.NewKGCFromMaster(testMaster(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := kgc.ExtractPartialPrivateKey("cluster-node")
+	if !bytes.Equal(res.PartialKey.Marshal(), want.Marshal()) {
+		t.Fatal("cluster-issued key differs from single master")
+	}
+}
+
+func TestNewServerRejectsBadConfig(t *testing.T) {
+	kgc, err := core.NewKGCFromMaster(testMaster(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []Config{
+		{},                     // no params
+		{Params: kgc.Params()}, // no signers
+		{Params: kgc.Params(), T: 2, SignerURLs: []string{"http://a"}}, // t > n
+		{Params: kgc.Params(), T: 0, SignerURLs: []string{"http://a"}}, // t < 1
+	}
+	for i, cfg := range cases {
+		if _, err := NewServer(cfg); err == nil {
+			t.Errorf("config %d: want error", i)
+		}
+	}
+}
+
+func TestLRU(t *testing.T) {
+	c := newLRU[int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted early")
+	}
+	c.Put("c", 3) // evicts b (a was just touched)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived past capacity")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatal("a lost")
+	}
+	c.Put("a", 10)
+	if v, _ := c.Get("a"); v != 10 {
+		t.Fatal("replace failed")
+	}
+	if got := c.GetOrCreate("d", func() int { return 4 }); got != 4 {
+		t.Fatal("GetOrCreate insert failed")
+	}
+	if got := c.GetOrCreate("d", func() int { return 5 }); got != 4 {
+		t.Fatal("GetOrCreate re-created an existing entry")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestRateLimiterRefill(t *testing.T) {
+	rl := newRateLimiter(2, 2, 16) // 2/s, burst 2
+	now := time.Unix(0, 0)
+	rl.now = func() time.Time { return now }
+	if !rl.Allow("x") || !rl.Allow("x") {
+		t.Fatal("burst denied")
+	}
+	if rl.Allow("x") {
+		t.Fatal("over-burst allowed")
+	}
+	now = now.Add(500 * time.Millisecond) // refills one token
+	if !rl.Allow("x") {
+		t.Fatal("refilled token denied")
+	}
+	if rl.Allow("x") {
+		t.Fatal("second token allowed after half-second")
+	}
+	// Disabled limiter always allows.
+	open := newRateLimiter(-1, 1, 1)
+	for i := 0; i < 100; i++ {
+		if !open.Allow("y") {
+			t.Fatal("disabled limiter denied")
+		}
+	}
+}

@@ -1,0 +1,302 @@
+// Package kgcd is the KGC enrollment plane as a real network service: a
+// front-end *combiner* exposing JSON-over-HTTP enrollment, backed by n
+// signer *replicas* that each hold one Shamir share of the master secret
+// (internal/threshold). An enrollment fans out to the replicas, collects
+// any t key shares and Lagrange-combines them into the partial private
+// key — so forging partial keys requires compromising t servers, while
+// availability survives n−t failures.
+//
+// Combiner API (all JSON):
+//
+//	GET  /params  → {"ppub": hex}                       public parameters
+//	POST /enroll  {"id": ...} → {"id", "partial_key", "cached"}
+//	GET  /healthz → {"status", "t", "n", "signers_up"}  503 below quorum
+//	GET  /metrics → Prometheus text exposition
+//
+// The hot path is defended in depth: per-identity token-bucket rate
+// limiting (429), an LRU partial-key cache (re-enrollment is the common
+// case for a rebooting fleet), bounded request bodies and identity
+// lengths, and a per-request fan-out timeout.
+package kgcd
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"mccls/internal/core"
+	"mccls/internal/threshold"
+)
+
+// Tunable defaults; zero values in Config select these.
+const (
+	DefaultMaxIDLen       = 256
+	DefaultCacheSize      = 1 << 16
+	DefaultRequestTimeout = 2 * time.Second
+	// DefaultRatePerSec / DefaultRateBurst: a legitimate node re-enrolls at
+	// reboot cadence; 5/s sustained with a burst of 20 absorbs crash loops
+	// and flaky links without letting one identity monopolize issuance.
+	DefaultRatePerSec = 5
+	DefaultRateBurst  = 20
+)
+
+// Config parameterizes a combiner.
+type Config struct {
+	// Params are the public system parameters the shares were split under.
+	Params *core.Params
+	// T is the quorum: how many signer replicas must answer.
+	T int
+	// SignerURLs are the base URLs of the n replicas.
+	SignerURLs []string
+	// CacheSize bounds the partial-key LRU (entries).
+	CacheSize int
+	// RatePerSec / RateBurst parameterize per-identity token buckets;
+	// RatePerSec < 0 disables rate limiting.
+	RatePerSec float64
+	RateBurst  int
+	// RequestTimeout bounds one enrollment's signer fan-out.
+	RequestTimeout time.Duration
+	// MaxIDLen bounds accepted identity byte length.
+	MaxIDLen int
+	// ValidateCombined pairing-checks every combined key before caching.
+	// Costly (two pairings); the combination is fuzz-pinned to the
+	// single-master oracle, and clients validate on receipt anyway, so
+	// this is off by default and exists for belt-and-braces deployments.
+	ValidateCombined bool
+	// HTTPClient overrides the client used to reach signer replicas.
+	HTTPClient *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = DefaultCacheSize
+	}
+	if c.RatePerSec == 0 {
+		c.RatePerSec = DefaultRatePerSec
+	}
+	if c.RateBurst == 0 {
+		c.RateBurst = DefaultRateBurst
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.MaxIDLen == 0 {
+		c.MaxIDLen = DefaultMaxIDLen
+	}
+	return c
+}
+
+// Server is the combiner.
+type Server struct {
+	cfg     Config
+	issuers []shareIssuer
+	cache   *lru[string] // identity → hex-marshalled partial key
+	limiter *rateLimiter
+	metrics metrics
+	rr      atomic.Uint32 // round-robin cursor over signer replicas
+}
+
+// NewServer validates the configuration and builds a combiner.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Params == nil {
+		return nil, fmt.Errorf("kgcd: config needs Params")
+	}
+	n := len(cfg.SignerURLs)
+	if cfg.T < 1 || n < cfg.T || n > threshold.MaxShares {
+		return nil, fmt.Errorf("kgcd: invalid quorum %d-of-%d", cfg.T, n)
+	}
+	s := &Server{
+		cfg:     cfg,
+		cache:   newLRU[string](cfg.CacheSize),
+		limiter: newRateLimiter(cfg.RatePerSec, cfg.RateBurst, 2*cfg.CacheSize),
+	}
+	for _, u := range cfg.SignerURLs {
+		s.issuers = append(s.issuers, newHTTPIssuer(u, cfg.HTTPClient))
+	}
+	return s, nil
+}
+
+// enrollRequest / enrollResponse are the public enrollment wire format.
+// PartialKey is hex of PartialPrivateKey.Marshal.
+type enrollRequest struct {
+	ID string `json:"id"`
+}
+
+type enrollResponse struct {
+	ID         string `json:"id"`
+	PartialKey string `json:"partial_key"`
+	Cached     bool   `json:"cached"`
+}
+
+type paramsResponse struct {
+	Ppub string `json:"ppub"`
+}
+
+type healthResponse struct {
+	Status    string `json:"status"`
+	T         int    `json:"t"`
+	N         int    `json:"n"`
+	SignersUp int    `json:"signers_up"`
+}
+
+// Handler returns the combiner's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /params", s.handleParams)
+	mux.HandleFunc("POST /enroll", s.handleEnroll)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
+	s.metrics.paramsTotal.Inc()
+	writeJSON(w, http.StatusOK, paramsResponse{Ppub: hex.EncodeToString(s.cfg.Params.Marshal())})
+}
+
+func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req enrollRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.metrics.badRequests.Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.ID) == 0 || len(req.ID) > s.cfg.MaxIDLen {
+		s.metrics.badRequests.Inc()
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("identity length must be in [1, %d]", s.cfg.MaxIDLen))
+		return
+	}
+	if !s.limiter.Allow(req.ID) {
+		s.metrics.rateLimited.Inc()
+		writeError(w, http.StatusTooManyRequests, "per-identity rate limit exceeded")
+		return
+	}
+	s.metrics.enrollTotal.Inc()
+
+	if hexKey, ok := s.cache.Get(req.ID); ok {
+		s.metrics.cacheHits.Inc()
+		writeJSON(w, http.StatusOK, enrollResponse{ID: req.ID, PartialKey: hexKey, Cached: true})
+		s.metrics.enrollLatency.Observe(time.Since(start))
+		return
+	}
+	s.metrics.cacheMisses.Inc()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	shares, err := s.gatherShares(ctx, req.ID)
+	if err != nil {
+		s.metrics.enrollErrors.Inc()
+		writeError(w, http.StatusServiceUnavailable, fmt.Sprintf("quorum unavailable: %v", err))
+		return
+	}
+	ppk, err := threshold.Combine(req.ID, shares)
+	if err != nil {
+		s.metrics.enrollErrors.Inc()
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("combine: %v", err))
+		return
+	}
+	if s.cfg.ValidateCombined {
+		if err := ppk.Validate(s.cfg.Params); err != nil {
+			s.metrics.enrollErrors.Inc()
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("combined key invalid: %v", err))
+			return
+		}
+	}
+	hexKey := hex.EncodeToString(ppk.Marshal())
+	s.cache.Put(req.ID, hexKey)
+	writeJSON(w, http.StatusOK, enrollResponse{ID: req.ID, PartialKey: hexKey, Cached: false})
+	s.metrics.enrollLatency.Observe(time.Since(start))
+}
+
+// gatherShares fans out to the signer replicas and returns the first T key
+// shares. It starts T requests in parallel (rotating the starting replica
+// for load balance) and launches a replacement for every failure, so one
+// slow or dead replica degrades latency, not availability, as long as T
+// replicas remain reachable.
+func (s *Server) gatherShares(ctx context.Context, id string) ([]*threshold.KeyShare, error) {
+	n := len(s.issuers)
+	type result struct {
+		ks  *threshold.KeyShare
+		err error
+	}
+	results := make(chan result, n)
+	first := int(s.rr.Add(1))
+	launched := 0
+	launch := func() bool {
+		if launched >= n {
+			return false
+		}
+		issuer := s.issuers[(first+launched)%n]
+		launched++
+		s.metrics.shareRequests.Inc()
+		go func() {
+			ks, err := issuer.Issue(ctx, id)
+			if err != nil {
+				err = fmt.Errorf("%s: %w", issuer.Name(), err)
+			}
+			results <- result{ks, err}
+		}()
+		return true
+	}
+	for i := 0; i < s.cfg.T; i++ {
+		launch()
+	}
+	var shares []*threshold.KeyShare
+	var lastErr error
+	outstanding := s.cfg.T
+	for len(shares) < s.cfg.T {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case r := <-results:
+			outstanding--
+			if r.err != nil {
+				s.metrics.shareFailures.Inc()
+				lastErr = r.err
+				if launch() {
+					outstanding++
+				} else if outstanding == 0 {
+					return nil, fmt.Errorf("%d of %d shares gathered, no replicas left: %w",
+						len(shares), s.cfg.T, lastErr)
+				}
+				continue
+			}
+			shares = append(shares, r.ks)
+		}
+	}
+	return shares, nil
+}
+
+// handleHealthz probes every replica concurrently with a short deadline
+// and reports quorum: 200 when at least T replicas answer, 503 otherwise.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 1*time.Second)
+	defer cancel()
+	up := make(chan bool, len(s.issuers))
+	for _, issuer := range s.issuers {
+		go func(si shareIssuer) { up <- si.Healthy(ctx) == nil }(issuer)
+	}
+	alive := 0
+	for range s.issuers {
+		if <-up {
+			alive++
+		}
+	}
+	h := healthResponse{Status: "ok", T: s.cfg.T, N: len(s.issuers), SignersUp: alive}
+	status := http.StatusOK
+	if alive < s.cfg.T {
+		h.Status = "degraded: below quorum"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.writePrometheus(w)
+}

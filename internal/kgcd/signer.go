@@ -1,0 +1,141 @@
+package kgcd
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"mccls/internal/threshold"
+)
+
+// maxBodyBytes caps request bodies on every JSON endpoint; an enrollment
+// request is an identity string, so 4 KiB is generous.
+const maxBodyBytes = 4 << 10
+
+// shareRequest / shareResponse are the signer replica's wire format. The
+// share is hex of KeyShare.Marshal (index byte ‖ 128-byte G2 point).
+type shareRequest struct {
+	ID string `json:"id"`
+}
+
+type shareResponse struct {
+	Index uint8  `json:"index"`
+	Share string `json:"share"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewSignerHandler serves one share-holder replica:
+//
+//	POST /share   {"id": ...} → {"index": j, "share": hex(D_j)}
+//	GET  /healthz            → {"status": "ok", "index": j}
+//
+// Replicas hold only their Shamir share; compromising fewer than t of them
+// reveals nothing about the master secret and forges nothing. maxIDLen
+// bounds identity length (≤ 0 selects DefaultMaxIDLen).
+func NewSignerHandler(signer *threshold.Signer, maxIDLen int) http.Handler {
+	if maxIDLen <= 0 {
+		maxIDLen = DefaultMaxIDLen
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /share", func(w http.ResponseWriter, r *http.Request) {
+		var req shareRequest
+		if err := decodeJSON(w, r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if len(req.ID) == 0 || len(req.ID) > maxIDLen {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("identity length must be in [1, %d]", maxIDLen))
+			return
+		}
+		ks := signer.Issue(req.ID)
+		writeJSON(w, http.StatusOK, shareResponse{Index: ks.Index, Share: hex.EncodeToString(ks.Marshal())})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "index": signer.Index()})
+	})
+	return mux
+}
+
+// shareIssuer is the combiner's view of one signer replica. httpIssuer is
+// the production implementation; tests may substitute in-process fakes.
+type shareIssuer interface {
+	// Issue requests this replica's key share for an identity.
+	Issue(ctx context.Context, id string) (*threshold.KeyShare, error)
+	// Name identifies the replica in errors and health output.
+	Name() string
+	// Healthy probes the replica's /healthz.
+	Healthy(ctx context.Context) error
+}
+
+// httpIssuer talks to a signer replica over HTTP.
+type httpIssuer struct {
+	base string // e.g. http://127.0.0.1:7611
+	hc   *http.Client
+}
+
+func newHTTPIssuer(base string, hc *http.Client) *httpIssuer {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &httpIssuer{base: base, hc: hc}
+}
+
+func (h *httpIssuer) Name() string { return h.base }
+
+func (h *httpIssuer) Issue(ctx context.Context, id string) (*threshold.KeyShare, error) {
+	body, err := json.Marshal(shareRequest{ID: id})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.base+"/share", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := h.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("signer %s: %s", h.base, readErrorBody(resp))
+	}
+	var sr shareResponse
+	if err := json.NewDecoder(&limitedBody{resp.Body, maxBodyBytes}).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("signer %s: decode: %w", h.base, err)
+	}
+	raw, err := hex.DecodeString(sr.Share)
+	if err != nil {
+		return nil, fmt.Errorf("signer %s: share hex: %w", h.base, err)
+	}
+	ks, err := threshold.UnmarshalKeyShare(id, raw)
+	if err != nil {
+		return nil, fmt.Errorf("signer %s: %w", h.base, err)
+	}
+	if ks.Index != sr.Index {
+		return nil, fmt.Errorf("signer %s: index mismatch %d vs %d", h.base, ks.Index, sr.Index)
+	}
+	return ks, nil
+}
+
+func (h *httpIssuer) Healthy(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := h.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("signer %s: healthz status %d", h.base, resp.StatusCode)
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package secrouting
 
 import (
+	"math/rand"
 	"time"
 
 	"mccls/internal/radio"
@@ -17,7 +18,9 @@ import (
 // fact that a stolen reply is useless without the enrollee's secret value
 // (the certificateless property). A request that goes unanswered — KGC
 // down, partition, lost frames — is retried with capped exponential
-// backoff and deterministic jitter; until a reply arrives the node simply
+// backoff and jitter drawn from a per-node seeded stream (so the retry
+// schedule is deterministic per identity and never perturbs the shared
+// simulation RNG); until a reply arrives the node simply
 // signs with garbage and its control packets are rejected exactly as the
 // paper's accept/reject rule dictates for any unenrolled sender. A node
 // that crashes loses its volatile keys and re-enrolls through the same
@@ -89,6 +92,14 @@ type EnrollConfig struct {
 	// [delay, delay·(1+JitterFrac)] so synchronized failures do not
 	// retry in lockstep.
 	JitterFrac float64
+	// JitterSeed seeds the per-node backoff-jitter streams. Each client
+	// derives its own RNG from this seed, so jitter draws never perturb
+	// the shared simulation stream (waypoints, MAC delays) and a node's
+	// backoff schedule depends only on its identity and attempt count —
+	// not on global event interleaving. Zero draws a seed from the
+	// simulator RNG at NewEnrollment (exactly one draw, keeping the
+	// shared stream's advance fixed regardless of retry counts).
+	JitterSeed int64
 	// TTL bounds the enrollment flood.
 	TTL int
 	// StartJitterMax desynchronizes the initial requests at t=0
@@ -149,6 +160,9 @@ type enrollSeen struct {
 type enrollState struct {
 	gen     int // invalidates armed timers across crash/success
 	attempt int
+	// jrng is this node's private backoff-jitter stream (see
+	// EnrollConfig.JitterSeed).
+	jrng *rand.Rand
 }
 
 // Enrollment runs the online enrollment protocol over a medium. It
@@ -183,9 +197,18 @@ func NewEnrollment(s *sim.Simulator, medium *radio.Medium, auth Authority, clien
 		seen:       make([]map[enrollSeen]bool, n),
 		stats:      make([]EnrollStats, n),
 	}
+	jitterSeed := e.cfg.JitterSeed
+	if jitterSeed == 0 {
+		jitterSeed = s.Rand().Int63()
+	}
 	for _, c := range clients {
 		e.registered[c] = true
-		e.state[c] = &enrollState{}
+		// Golden-ratio spacing decorrelates adjacent node indices under
+		// the xor-with-seed derivation (same idiom as the experiment
+		// harness's per-purpose streams).
+		e.state[c] = &enrollState{
+			jrng: rand.New(rand.NewSource(jitterSeed ^ int64(uint64(c+1)*0x9e3779b97f4a7c15))),
+		}
 	}
 	for i := 0; i < n; i++ {
 		e.seen[i] = make(map[enrollSeen]bool)
@@ -262,7 +285,8 @@ func (e *Enrollment) sendRequest(node int) {
 }
 
 // backoff computes the jittered retry delay after the k-th failed attempt:
-// min(cap, base·2^k) stretched by a uniform factor in [1, 1+JitterFrac].
+// min(cap, base·2^k) stretched by a uniform factor in [1, 1+JitterFrac]
+// drawn from the node's private jitter stream.
 func (e *Enrollment) backoff(node, k int) time.Duration {
 	d := e.cfg.BackoffCap
 	if k < 62 {
@@ -270,7 +294,7 @@ func (e *Enrollment) backoff(node, k int) time.Duration {
 			d = exp
 		}
 	}
-	d = time.Duration(float64(d) * (1 + e.cfg.JitterFrac*e.sim.Rand().Float64()))
+	d = time.Duration(float64(d) * (1 + e.cfg.JitterFrac*e.state[node].jrng.Float64()))
 	if d > e.stats[node].MaxBackoff {
 		e.stats[node].MaxBackoff = d
 	}

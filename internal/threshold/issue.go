@@ -1,0 +1,108 @@
+package threshold
+
+import (
+	"fmt"
+
+	"mccls/internal/bn254"
+	"mccls/internal/core"
+)
+
+// Signer is one share-holder: it issues partial-key *shares* D_j = s_j·Q_ID
+// against its Shamir share and never sees the master secret or the other
+// shares. This is the object a kgcd signer replica wraps.
+type Signer struct {
+	params *core.Params
+	share  *Share
+}
+
+// NewSigner binds a share to the public parameters it was split under.
+func NewSigner(params *core.Params, share *Share) (*Signer, error) {
+	if share == nil || share.Index == 0 {
+		return nil, fmt.Errorf("threshold: signer needs a share with nonzero index")
+	}
+	if share.Value == nil || share.Value.Sign() <= 0 || share.Value.Cmp(bn254.Order) >= 0 {
+		return nil, fmt.Errorf("threshold: share value out of range")
+	}
+	return &Signer{params: params, share: share}, nil
+}
+
+// Index returns the share-holder's evaluation point j.
+func (s *Signer) Index() uint8 { return s.share.Index }
+
+// Params returns the public parameters the signer issues under.
+func (s *Signer) Params() *core.Params { return s.params }
+
+// Issue computes this holder's key share D_j = s_j·Q_ID for an identity.
+func (s *Signer) Issue(id string) *KeyShare {
+	ppk := core.IssuePartialKey(s.params, id, s.share.Value)
+	return &KeyShare{ID: id, Index: s.share.Index, D: ppk.D}
+}
+
+// KeyShare is one share-holder's contribution to a partial private key.
+// Unlike a PartialPrivateKey it does not validate under the public
+// parameters on its own; only a t-combination does.
+type KeyShare struct {
+	ID    string
+	Index uint8
+	D     *bn254.G2
+}
+
+// keyShareMarshalledSize is the byte length of the fixed part (index‖D);
+// the identity rides separately in the carrying protocol.
+const keyShareMarshalledSize = 1 + 128
+
+// Marshal encodes the share as Index‖D (128-byte uncompressed G2).
+func (ks *KeyShare) Marshal() []byte {
+	out := make([]byte, 1, keyShareMarshalledSize)
+	out[0] = ks.Index
+	return append(out, ks.D.Marshal()...)
+}
+
+// UnmarshalKeyShare decodes a key share for the given identity, validating
+// the embedded point (curve and subgroup membership).
+func UnmarshalKeyShare(id string, data []byte) (*KeyShare, error) {
+	if len(data) != keyShareMarshalledSize {
+		return nil, fmt.Errorf("threshold: key share wants %d bytes, got %d", keyShareMarshalledSize, len(data))
+	}
+	if data[0] == 0 {
+		return nil, fmt.Errorf("threshold: key share index zero")
+	}
+	var d bn254.G2
+	if err := d.Unmarshal(data[1:]); err != nil {
+		return nil, fmt.Errorf("threshold: key share point: %w", err)
+	}
+	return &KeyShare{ID: id, Index: data[0], D: &d}, nil
+}
+
+// Combine Lagrange-combines key shares into the partial private key
+// D_ID = Σ λ_j·D_j. The caller is responsible for passing exactly t shares
+// of a t-threshold split (a combiner enforces its quorum before calling);
+// with fewer, the result is a well-formed group element that fails
+// PartialPrivateKey.Validate. Shares must be for the same identity and
+// carry pairwise-distinct indices.
+func Combine(id string, shares []*KeyShare) (*core.PartialPrivateKey, error) {
+	if len(shares) == 0 {
+		return nil, fmt.Errorf("threshold: no key shares to combine")
+	}
+	indices := make([]uint8, len(shares))
+	for i, ks := range shares {
+		if ks.ID != id {
+			return nil, fmt.Errorf("threshold: key share for %q, want %q", ks.ID, id)
+		}
+		if ks.D == nil {
+			return nil, fmt.Errorf("threshold: key share %d has no point", ks.Index)
+		}
+		indices[i] = ks.Index
+	}
+	lambda, err := lagrangeAtZero(indices)
+	if err != nil {
+		return nil, err
+	}
+	acc := bn254.G2Infinity()
+	term := new(bn254.G2)
+	for i, ks := range shares {
+		term.ScalarMult(ks.D, lambda[i])
+		acc.Add(acc, term)
+	}
+	return &core.PartialPrivateKey{ID: id, D: acc}, nil
+}

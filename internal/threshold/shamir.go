@@ -1,0 +1,169 @@
+// Package threshold shards the KGC master secret with Shamir secret
+// sharing over the BN254 scalar field, so partial-private-key issuance
+// needs the cooperation of any t of n share-holders and no single server
+// can forge partial keys (the dominant practical attack on certificateless
+// deployments is KGC compromise).
+//
+// The construction is the standard one: Split draws a uniformly random
+// polynomial f of degree t−1 with f(0) = s over Z_r and hands share-holder
+// j the evaluation s_j = f(j). Because Extract-Partial-Private-Key is the
+// linear map s ↦ s·Q_ID, each holder can apply its share directly in the
+// group: D_j = s_j·Q_ID, and any t such key shares Lagrange-combine to
+//
+//	D_ID = Σ_j λ_j·D_j = (Σ_j λ_j·s_j)·Q_ID = s·Q_ID,
+//
+// byte-identical to single-master issuance — which is kept in-tree as the
+// differential oracle and pinned by FuzzThresholdVsSingleMaster. The master
+// secret is never reconstructed anywhere in the issuance path; Reconstruct
+// exists for offline recovery and for the oracle side of the fuzzer.
+package threshold
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"mccls/internal/bn254"
+)
+
+// MaxShares bounds n. Share indices are 1-based small integers; the bound
+// keeps Lagrange denominators trivially invertible and configs sane.
+const MaxShares = 255
+
+// Share is one Shamir share s_j = f(j) of the master secret. Index is the
+// polynomial evaluation point j ∈ [1, n]; zero is never a valid index (it
+// would be the secret itself).
+type Share struct {
+	Index uint8
+	Value *big.Int
+}
+
+// shareMarshalledSize is 1 index byte plus a 32-byte big-endian scalar.
+const shareMarshalledSize = 1 + 32
+
+// Marshal encodes the share as Index‖Value (32-byte big-endian scalar).
+func (s *Share) Marshal() []byte {
+	out := make([]byte, shareMarshalledSize)
+	out[0] = s.Index
+	s.Value.FillBytes(out[1:])
+	return out
+}
+
+// UnmarshalShare decodes a share produced by Marshal.
+func UnmarshalShare(data []byte) (*Share, error) {
+	if len(data) != shareMarshalledSize {
+		return nil, fmt.Errorf("threshold: share wants %d bytes, got %d", shareMarshalledSize, len(data))
+	}
+	s := &Share{Index: data[0], Value: new(big.Int).SetBytes(data[1:])}
+	if s.Index == 0 {
+		return nil, fmt.Errorf("threshold: share index zero")
+	}
+	if s.Value.Sign() == 0 || s.Value.Cmp(bn254.Order) >= 0 {
+		return nil, fmt.Errorf("threshold: share value out of range")
+	}
+	return s, nil
+}
+
+// Split shards secret into n shares with reconstruction threshold t
+// (1 ≤ t ≤ n ≤ MaxShares). Passing a nil reader uses crypto/rand via
+// bn254.RandomScalar. The coefficients are drawn from Z_r*, so for t = 1
+// every share equals the secret (a degree-0 polynomial), matching the
+// single-master deployment exactly.
+func Split(secret *big.Int, t, n int, rng io.Reader) ([]*Share, error) {
+	if t < 1 || n < t || n > MaxShares {
+		return nil, fmt.Errorf("threshold: invalid t-of-n %d-of-%d", t, n)
+	}
+	if secret == nil || secret.Sign() <= 0 || secret.Cmp(bn254.Order) >= 0 {
+		return nil, fmt.Errorf("threshold: secret out of range")
+	}
+	// coeffs[0] = secret; coeffs[1..t-1] random.
+	coeffs := make([]*big.Int, t)
+	coeffs[0] = secret
+	for i := 1; i < t; i++ {
+		c, err := bn254.RandomScalar(rng)
+		if err != nil {
+			return nil, fmt.Errorf("threshold: split: %w", err)
+		}
+		coeffs[i] = c
+	}
+	shares := make([]*Share, n)
+	for j := 1; j <= n; j++ {
+		// Horner evaluation of f(j) mod r.
+		x := big.NewInt(int64(j))
+		v := new(big.Int).Set(coeffs[t-1])
+		for i := t - 2; i >= 0; i-- {
+			v.Mul(v, x)
+			v.Add(v, coeffs[i])
+			v.Mod(v, bn254.Order)
+		}
+		shares[j-1] = &Share{Index: uint8(j), Value: v}
+	}
+	return shares, nil
+}
+
+// lagrangeAtZero returns the Lagrange interpolation coefficients
+// λ_j = Π_{m≠j} x_m/(x_m − x_j) mod r evaluated at zero, one per input
+// index. Indices must be nonzero and pairwise distinct.
+func lagrangeAtZero(indices []uint8) ([]*big.Int, error) {
+	if len(indices) == 0 {
+		return nil, fmt.Errorf("threshold: no shares")
+	}
+	seen := map[uint8]bool{}
+	for _, j := range indices {
+		if j == 0 {
+			return nil, fmt.Errorf("threshold: share index zero")
+		}
+		if seen[j] {
+			return nil, fmt.Errorf("threshold: duplicate share index %d", j)
+		}
+		seen[j] = true
+	}
+	out := make([]*big.Int, len(indices))
+	num := new(big.Int)
+	den := new(big.Int)
+	diff := new(big.Int)
+	for i, j := range indices {
+		num.SetInt64(1)
+		den.SetInt64(1)
+		for _, m := range indices {
+			if m == j {
+				continue
+			}
+			num.Mul(num, big.NewInt(int64(m)))
+			num.Mod(num, bn254.Order)
+			diff.SetInt64(int64(m) - int64(j))
+			den.Mul(den, diff)
+			den.Mod(den, bn254.Order)
+		}
+		li := new(big.Int).ModInverse(den, bn254.Order)
+		li.Mul(li, num)
+		li.Mod(li, bn254.Order)
+		out[i] = li
+	}
+	return out, nil
+}
+
+// Reconstruct recovers f(0) from the given shares by Lagrange interpolation
+// at zero. It needs exactly the shares it is given: pass t genuine shares
+// of a t-threshold split and the result is the secret; pass fewer and the
+// result is an unrelated field element (which is the point — see
+// FuzzThresholdVsSingleMaster). For key issuance prefer Combine, which
+// never materializes the secret.
+func Reconstruct(shares []*Share) (*big.Int, error) {
+	indices := make([]uint8, len(shares))
+	for i, s := range shares {
+		indices[i] = s.Index
+	}
+	lambda, err := lagrangeAtZero(indices)
+	if err != nil {
+		return nil, err
+	}
+	acc := new(big.Int)
+	term := new(big.Int)
+	for i, s := range shares {
+		term.Mul(lambda[i], s.Value)
+		acc.Add(acc, term)
+		acc.Mod(acc, bn254.Order)
+	}
+	return acc, nil
+}
