@@ -21,14 +21,29 @@ type benchEntry struct {
 	MsPerOp float64 `json:"ms_per_op"`
 }
 
+// batchSweepEntry is one point of the batch-verification sweep: n
+// signatures from min(16, n) signers — an RREQ-flood-shaped workload —
+// checked through the multi-signer batch engine.
+type batchSweepEntry struct {
+	BatchSize  int     `json:"batch_size"`
+	Signers    int     `json:"signers"`
+	Iters      int     `json:"iters"`
+	MsPerSig   float64 `json:"ms_per_sig"`
+	SigsPerSec float64 `json:"sigs_per_sec"`
+	// Speedup is per-signature throughput relative to the sequential
+	// mccls_verify row of the same run.
+	Speedup float64 `json:"speedup_vs_sequential"`
+}
+
 // benchReport is the schema of BENCH_bn254.json: enough context to compare
-// runs across machines plus the per-primitive timings.
+// runs across machines plus the per-primitive timings and the batch sweep.
 type benchReport struct {
-	GoVersion string       `json:"go_version"`
-	GOARCH    string       `json:"goarch"`
-	Curve     string       `json:"curve"`
-	Timestamp string       `json:"timestamp"`
-	Results   []benchEntry `json:"results"`
+	GoVersion   string            `json:"go_version"`
+	GOARCH      string            `json:"goarch"`
+	Curve       string            `json:"curve"`
+	Timestamp   string            `json:"timestamp"`
+	Results     []benchEntry      `json:"results"`
+	BatchVerify []batchSweepEntry `json:"batch_verify,omitempty"`
 }
 
 // timeOp measures fn over iters iterations and returns one entry.
@@ -47,9 +62,88 @@ func timeOp(name string, iters int, fn func()) benchEntry {
 	}
 }
 
+// benchBatchSweep times the multi-signer batch engine at each batch size.
+// The workload models an RREQ flood: every signature covers a distinct
+// payload and the signer population is capped at 16 (a receiver hears the
+// same neighborhood repeatedly), so the engine's per-identity Q_ID grouping
+// and caching are exercised the way the routing layer exercises them.
+func benchBatchSweep(vf *core.Verifier, kgc *core.KGC, rng *rand.Rand, sizes []int, seqMs float64) ([]batchSweepEntry, error) {
+	maxN := 0
+	for _, n := range sizes {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	if maxN == 0 {
+		return nil, nil
+	}
+	signers := 16
+	if maxN < signers {
+		signers = maxN
+	}
+	sks := make([]*core.PrivateKey, signers)
+	for j := range sks {
+		var err error
+		sks[j], err = core.GenerateKeyPair(kgc.Params(),
+			kgc.ExtractPartialPrivateKey(fmt.Sprintf("rreq-%d@manet", j)), rng)
+		if err != nil {
+			return nil, err
+		}
+	}
+	pks := make([]*core.PublicKey, maxN)
+	msgs := make([][]byte, maxN)
+	sigs := make([]*core.Signature, maxN)
+	for i := 0; i < maxN; i++ {
+		sk := sks[i%signers]
+		pks[i] = sk.Public()
+		msgs[i] = []byte(fmt.Sprintf("RREQ origin=%d id=%d", i%signers, i))
+		var err error
+		if sigs[i], err = core.Sign(kgc.Params(), sk, msgs[i], rng); err != nil {
+			return nil, err
+		}
+	}
+	// Warm the per-identity caches (Q_ID, e(P_pub, Q_ID)) — steady-state
+	// flood verification runs against known neighbors.
+	if err := vf.VerifyBatchMulti(pks[:signers], msgs[:signers], sigs[:signers], nil); err != nil {
+		return nil, err
+	}
+	var sweep []batchSweepEntry
+	for _, n := range sizes {
+		if n <= 0 {
+			continue
+		}
+		bv := vf.Batch(core.BatchOptions{})
+		reps := 512 / n
+		if reps < 2 {
+			reps = 2
+		}
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			if err := bv.VerifyMulti(pks[:n], msgs[:n], sigs[:n]); err != nil {
+				return nil, err
+			}
+		}
+		perSig := time.Since(start) / time.Duration(reps*n)
+		msPerSig := float64(perSig.Nanoseconds()) / float64(time.Millisecond)
+		entry := batchSweepEntry{
+			BatchSize:  n,
+			Signers:    min(signers, n),
+			Iters:      reps,
+			MsPerSig:   msPerSig,
+			SigsPerSec: float64(time.Second) / float64(perSig),
+		}
+		if msPerSig > 0 {
+			entry.Speedup = seqMs / msPerSig
+		}
+		sweep = append(sweep, entry)
+	}
+	return sweep, nil
+}
+
 // writeBenchJSON times the BN254 substrate primitives that dominate McCLS
-// sign/verify cost and writes them to path as JSON.
-func writeBenchJSON(path string, iters int) error {
+// sign/verify cost plus the batch-verification sweep, and writes them to
+// path as JSON.
+func writeBenchJSON(path string, iters int, batchSizes []int) error {
 	r := rand.New(rand.NewSource(1))
 	k1 := new(big.Int).Rand(r, bn254.Order)
 	k2 := new(big.Int).Rand(r, bn254.Order)
@@ -79,7 +173,7 @@ func writeBenchJSON(path string, iters int) error {
 	rep := benchReport{
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,
-		Curve:     "BN254 (Montgomery fixed-width Fp, GLV/wNAF + sparse Miller + cyclotomic final exp)",
+		Curve:     "BN254 (Montgomery fixed-width Fp, GLV/wNAF + lockstep multi-pairing + cyclotomic final exp)",
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		Results: []benchEntry{
 			timeOp("pairing", iters, func() { bn254.Pair(p, q) }),
@@ -100,6 +194,15 @@ func writeBenchJSON(path string, iters int) error {
 				}
 			}),
 		},
+	}
+	var seqMs float64
+	for _, e := range rep.Results {
+		if e.Name == "mccls_verify" {
+			seqMs = e.MsPerOp
+		}
+	}
+	if rep.BatchVerify, err = benchBatchSweep(vf, kgc, r, batchSizes, seqMs); err != nil {
+		return err
 	}
 	blob, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

@@ -1,0 +1,148 @@
+package batch
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeCheck builds a Check over a set of bad indices, counting aggregate
+// evaluations.
+func fakeCheck(bad map[int]bool, calls *atomic.Int64) Check {
+	return func(idxs []int) bool {
+		calls.Add(1)
+		for _, i := range idxs {
+			if bad[i] {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func TestRejectLocatesOffenders(t *testing.T) {
+	bad := map[int]bool{3: true, 17: true, 42: true, 99: true}
+	var calls atomic.Int64
+	got, err := Reject(100, Options{ChunkSize: 16}, fakeCheck(bad, &calls), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{3, 17, 42, 99}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("offenders %v, want %v", got, want)
+	}
+}
+
+func TestRejectAllGood(t *testing.T) {
+	var calls atomic.Int64
+	got, err := Reject(100, Options{ChunkSize: 16}, fakeCheck(nil, &calls), nil)
+	if err != nil || got != nil {
+		t.Fatalf("clean batch: got %v, %v", got, err)
+	}
+	// One aggregate check per chunk, no bisection.
+	if calls.Load() != 7 {
+		t.Fatalf("clean batch ran %d checks, want 7", calls.Load())
+	}
+	if got, err := Reject(0, Options{}, fakeCheck(nil, &calls), nil); err != nil || got != nil {
+		t.Fatalf("empty batch: got %v, %v", got, err)
+	}
+}
+
+func TestRejectWorkerInvariance(t *testing.T) {
+	bad := map[int]bool{0: true, 31: true, 32: true, 63: true, 64: true}
+	var want []int
+	for _, workers := range []int{1, 4, 8} {
+		var calls atomic.Int64
+		got, err := Reject(65, Options{Workers: workers, ChunkSize: 8}, fakeCheck(bad, &calls), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers == 1 {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: offenders %v, want %v", workers, got, want)
+		}
+	}
+}
+
+func TestRejectUsesCheckOneAtLeaves(t *testing.T) {
+	// checkOne disagrees with check on index 5 — leaves must use checkOne.
+	var leaves atomic.Int64
+	check := func(idxs []int) bool {
+		for _, i := range idxs {
+			if i == 5 {
+				return false
+			}
+		}
+		return true
+	}
+	checkOne := func(i int) bool {
+		leaves.Add(1)
+		return i != 5
+	}
+	got, err := Reject(8, Options{ChunkSize: 8}, check, checkOne)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{5}) {
+		t.Fatalf("offenders %v, want [5]", got)
+	}
+	if leaves.Load() == 0 {
+		t.Fatal("bisection never reached checkOne")
+	}
+}
+
+func TestRejectPanicPropagates(t *testing.T) {
+	_, err := Reject(4, Options{ChunkSize: 2}, func([]int) bool { panic("boom") }, nil)
+	if err == nil {
+		t.Fatal("panicking check must surface an error")
+	}
+}
+
+func TestErrorUnwrap(t *testing.T) {
+	sentinel := errors.New("scheme: verify failed")
+	err := error(&Error{Bad: []int{1, 2}, Cause: sentinel})
+	if !errors.Is(err, sentinel) {
+		t.Fatal("batch.Error must unwrap to its cause")
+	}
+	var be *Error
+	if !errors.As(err, &be) || len(be.Bad) != 2 {
+		t.Fatal("errors.As must recover the offender list")
+	}
+}
+
+func TestWeightsDeterministicAndBounded(t *testing.T) {
+	seed := bytes.Repeat([]byte{7}, 32)
+	w1, err := NewWeights(bytes.NewReader(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, _ := NewWeights(bytes.NewReader(seed))
+	for i := 0; i < 100; i++ {
+		a, b := w1.At(i), w2.At(i)
+		if a.Cmp(b) != 0 {
+			t.Fatalf("weight %d not deterministic", i)
+		}
+		if a.Sign() == 0 {
+			t.Fatalf("weight %d is zero", i)
+		}
+		if a.BitLen() > WeightBits {
+			t.Fatalf("weight %d has %d bits, cap %d", i, a.BitLen(), WeightBits)
+		}
+	}
+	if w1.At(0).Cmp(w1.At(1)) == 0 {
+		t.Fatal("distinct indices yielded equal weights")
+	}
+	// Fresh random seeds must differ.
+	r1, err := NewWeights(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := NewWeights(nil)
+	if r1.At(0).Cmp(r2.At(0)) == 0 {
+		t.Fatal("independent seeds yielded equal weights")
+	}
+}

@@ -1,0 +1,172 @@
+package bn254
+
+import (
+	"math/big"
+	"testing"
+)
+
+// productOfSingleLoops is the differential oracle for the lockstep kernel:
+// the product of independent per-pair Miller loops, skipping trivial pairs
+// exactly as MillerLoopMulti documents.
+func productOfSingleLoops(ps []*G1, qs []*G2) *Fp12 {
+	acc := Fp12One()
+	for i := range ps {
+		if ps[i].IsInfinity() || qs[i].IsInfinity() {
+			continue
+		}
+		acc.Mul(acc, millerLoop(ps[i], qs[i]))
+	}
+	return acc
+}
+
+func TestMillerLoopMultiMatchesSingle(t *testing.T) {
+	r := testRand()
+	for n := 1; n <= 5; n++ {
+		ps := make([]*G1, n)
+		qs := make([]*G2, n)
+		for i := range ps {
+			ps[i] = new(G1).ScalarBaseMult(randScalar(r))
+			qs[i] = new(G2).ScalarBaseMult(randScalar(r))
+		}
+		got := MillerLoopMulti(ps, qs)
+		want := productOfSingleLoops(ps, qs)
+		if !got.Equal(want) {
+			t.Fatalf("lockstep Miller product diverges from per-pair oracle at n=%d", n)
+		}
+		// The reduced product must agree with the product of Pair values.
+		gt := GTOne()
+		for i := range ps {
+			gt.Mul(gt, Pair(ps[i], qs[i]))
+		}
+		if !PairMulti(ps, qs).Equal(gt) {
+			t.Fatalf("PairMulti diverges from Π Pair at n=%d", n)
+		}
+	}
+}
+
+func TestMillerLoopMultiInfinity(t *testing.T) {
+	r := testRand()
+	p := new(G1).ScalarBaseMult(randScalar(r))
+	q := new(G2).ScalarBaseMult(randScalar(r))
+
+	// All-trivial batches reduce to the identity.
+	if !MillerLoopMulti(nil, nil).IsOne() {
+		t.Fatal("empty batch should be the identity")
+	}
+	if !MillerLoopMulti([]*G1{G1Infinity()}, []*G2{q}).IsOne() {
+		t.Fatal("infinity-only batch should be the identity")
+	}
+	if !PairMulti([]*G1{p}, []*G2{G2Infinity()}).IsOne() {
+		t.Fatal("reduced infinity-only batch should be the identity")
+	}
+
+	// Trivial pairs interleaved with real ones must be skipped, not folded.
+	ps := []*G1{p, G1Infinity(), p}
+	qs := []*G2{q, q, G2Infinity()}
+	if got, want := MillerLoopMulti(ps, qs), millerLoop(p, q); !got.Equal(want) {
+		t.Fatal("interleaved infinity entries change the Miller product")
+	}
+}
+
+func TestPairingCheckDegenerate(t *testing.T) {
+	r := testRand()
+	p := new(G1).ScalarBaseMult(randScalar(r))
+	if PairingCheck([]*G1{p}, nil) {
+		t.Fatal("length mismatch must reject")
+	}
+	if !PairingCheck(nil, nil) {
+		t.Fatal("empty check must accept")
+	}
+	if !PairingCheck([]*G1{G1Infinity()}, []*G2{G2Infinity()}) {
+		t.Fatal("all-trivial check must accept")
+	}
+}
+
+// TestMillerLoopMultiOpCounts pins the amortization the lockstep kernel
+// exists for: a batch of n pairs costs ONE shared accumulator squaring per
+// ate-loop iteration (64 total, independent of n) while the line work —
+// doubling steps, addition steps and sparse multiplications — scales with
+// n exactly as in the single-pair loop.
+func TestMillerLoopMultiOpCounts(t *testing.T) {
+	r := testRand()
+	const n = uint64(5)
+	ps := make([]*G1, n)
+	qs := make([]*G2, n)
+	for i := range ps {
+		ps[i] = new(G1).ScalarBaseMult(randScalar(r))
+		qs[i] = new(G2).ScalarBaseMult(randScalar(r))
+	}
+
+	iters := uint64(ateLoopCount.BitLen() - 1)
+	popcount := uint64(0)
+	for i := 0; i < ateLoopCount.BitLen()-1; i++ {
+		if ateLoopCount.Bit(i) == 1 {
+			popcount++
+		}
+	}
+	addsPerPair := popcount + 2
+
+	before := ReadOpCounts()
+	MillerLoopMulti(ps, qs)
+	d := ReadOpCounts().Sub(before)
+
+	if d.MillerSquarings != iters {
+		t.Fatalf("batch of %d shared %d accumulator squarings, want %d (one per iteration)", n, d.MillerSquarings, iters)
+	}
+	if d.LineDoubles != n*iters {
+		t.Fatalf("batch of %d ran %d doubling steps, want %d", n, d.LineDoubles, n*iters)
+	}
+	if d.LineAdds != n*addsPerPair {
+		t.Fatalf("batch of %d ran %d addition steps, want %d", n, d.LineAdds, n*addsPerPair)
+	}
+	if want := n * (iters + addsPerPair); d.SparseMuls != want {
+		t.Fatalf("batch of %d ran %d sparse multiplications, want %d", n, d.SparseMuls, want)
+	}
+	if d.Pairings != n {
+		t.Fatalf("batch of %d counted %d pairings, want %d", n, d.Pairings, n)
+	}
+
+	// The single-pair loop pays the same squaring count for ONE pair — the
+	// baseline the batch amortizes against.
+	before = ReadOpCounts()
+	millerLoop(ps[0], qs[0])
+	d = ReadOpCounts().Sub(before)
+	if d.MillerSquarings != iters {
+		t.Fatalf("single Miller loop used %d accumulator squarings, want %d", d.MillerSquarings, iters)
+	}
+}
+
+// FuzzMillerLoopMultiVsSingle pins the lockstep kernel byte-identical to
+// the product of per-pair millerLoop results on fuzzed batches, including
+// infinity entries and length-1 batches.
+func FuzzMillerLoopMultiVsSingle(f *testing.F) {
+	f.Add([]byte{1}, []byte{2}, byte(1), byte(0))
+	f.Add([]byte{7, 7}, []byte{9}, byte(4), byte(1))
+	f.Add([]byte{255}, []byte{255, 255}, byte(2), byte(2))
+	f.Fuzz(func(t *testing.T, aBytes, bBytes []byte, nRaw, infMask byte) {
+		n := int(nRaw%4) + 1 // batch sizes 1..4, so length-1 is fuzzed too
+		a := new(big.Int).SetBytes(aBytes)
+		b := new(big.Int).SetBytes(bBytes)
+		ps := make([]*G1, n)
+		qs := make([]*G2, n)
+		for i := 0; i < n; i++ {
+			ka := new(big.Int).Mod(new(big.Int).Add(a, big.NewInt(int64(i+1))), Order)
+			kb := new(big.Int).Mod(new(big.Int).Add(b, big.NewInt(int64(3*i+1))), Order)
+			ps[i] = new(G1).ScalarBaseMult(ka)
+			qs[i] = new(G2).ScalarBaseMult(kb)
+			// Scalar 0 already yields infinity; the mask forces more.
+			if infMask&(1<<uint(i)) != 0 {
+				if i%2 == 0 {
+					ps[i] = G1Infinity()
+				} else {
+					qs[i] = G2Infinity()
+				}
+			}
+		}
+		got := MillerLoopMulti(ps, qs)
+		want := productOfSingleLoops(ps, qs)
+		if !got.Equal(want) {
+			t.Fatalf("lockstep product diverges: n=%d a=%v b=%v mask=%08b", n, a, b, infMask)
+		}
+	})
+}

@@ -27,32 +27,41 @@ type OpCounts struct {
 	LineAdds    uint64
 	SparseMuls  uint64
 	CycSquares  uint64
+
+	// MillerSquarings counts Fp12 squarings of the Miller-loop accumulator.
+	// The lockstep multi-pairing kernel shares ONE squaring per ate-loop
+	// iteration across the whole batch, so a batch of n pairs performs 64
+	// squarings total (not 64·n) while LineDoubles/LineAdds/SparseMuls keep
+	// scaling with n — the amortization TestMillerLoopMultiOpCounts pins.
+	MillerSquarings uint64
 }
 
 var opCounters struct {
-	pairings    atomic.Uint64
-	finalExps   atomic.Uint64
-	g1Mults     atomic.Uint64
-	g2Mults     atomic.Uint64
-	gtExps      atomic.Uint64
-	lineDoubles atomic.Uint64
-	lineAdds    atomic.Uint64
-	sparseMuls  atomic.Uint64
-	cycSquares  atomic.Uint64
+	pairings        atomic.Uint64
+	finalExps       atomic.Uint64
+	g1Mults         atomic.Uint64
+	g2Mults         atomic.Uint64
+	gtExps          atomic.Uint64
+	lineDoubles     atomic.Uint64
+	lineAdds        atomic.Uint64
+	sparseMuls      atomic.Uint64
+	cycSquares      atomic.Uint64
+	millerSquarings atomic.Uint64
 }
 
 // ReadOpCounts returns the current counter values.
 func ReadOpCounts() OpCounts {
 	return OpCounts{
-		Pairings:      opCounters.pairings.Load(),
-		FinalExps:     opCounters.finalExps.Load(),
-		G1ScalarMults: opCounters.g1Mults.Load(),
-		G2ScalarMults: opCounters.g2Mults.Load(),
-		GTExps:        opCounters.gtExps.Load(),
-		LineDoubles:   opCounters.lineDoubles.Load(),
-		LineAdds:      opCounters.lineAdds.Load(),
-		SparseMuls:    opCounters.sparseMuls.Load(),
-		CycSquares:    opCounters.cycSquares.Load(),
+		Pairings:        opCounters.pairings.Load(),
+		FinalExps:       opCounters.finalExps.Load(),
+		G1ScalarMults:   opCounters.g1Mults.Load(),
+		G2ScalarMults:   opCounters.g2Mults.Load(),
+		GTExps:          opCounters.gtExps.Load(),
+		LineDoubles:     opCounters.lineDoubles.Load(),
+		LineAdds:        opCounters.lineAdds.Load(),
+		SparseMuls:      opCounters.sparseMuls.Load(),
+		CycSquares:      opCounters.cycSquares.Load(),
+		MillerSquarings: opCounters.millerSquarings.Load(),
 	}
 }
 
@@ -60,14 +69,15 @@ func ReadOpCounts() OpCounts {
 // of ReadOpCounts snapshots to attribute operations to a code region.
 func (c OpCounts) Sub(earlier OpCounts) OpCounts {
 	return OpCounts{
-		Pairings:      c.Pairings - earlier.Pairings,
-		FinalExps:     c.FinalExps - earlier.FinalExps,
-		G1ScalarMults: c.G1ScalarMults - earlier.G1ScalarMults,
-		G2ScalarMults: c.G2ScalarMults - earlier.G2ScalarMults,
-		GTExps:        c.GTExps - earlier.GTExps,
-		LineDoubles:   c.LineDoubles - earlier.LineDoubles,
-		LineAdds:      c.LineAdds - earlier.LineAdds,
-		SparseMuls:    c.SparseMuls - earlier.SparseMuls,
-		CycSquares:    c.CycSquares - earlier.CycSquares,
+		Pairings:        c.Pairings - earlier.Pairings,
+		FinalExps:       c.FinalExps - earlier.FinalExps,
+		G1ScalarMults:   c.G1ScalarMults - earlier.G1ScalarMults,
+		G2ScalarMults:   c.G2ScalarMults - earlier.G2ScalarMults,
+		GTExps:          c.GTExps - earlier.GTExps,
+		LineDoubles:     c.LineDoubles - earlier.LineDoubles,
+		LineAdds:        c.LineAdds - earlier.LineAdds,
+		SparseMuls:      c.SparseMuls - earlier.SparseMuls,
+		CycSquares:      c.CycSquares - earlier.CycSquares,
+		MillerSquarings: c.MillerSquarings - earlier.MillerSquarings,
 	}
 }

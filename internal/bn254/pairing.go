@@ -278,6 +278,7 @@ func millerLoop(p *G1, q *G2) *Fp12 {
 	f := Fp12One()
 	var l lineEval
 	for i := ateLoopCount.BitLen() - 2; i >= 0; i-- {
+		opCounters.millerSquarings.Add(1)
 		f.Square(f)
 		t.doubleStepProj(&l, p)
 		f.mulByLine(&l)
@@ -386,31 +387,19 @@ func finalExponentiation(f *Fp12) *Fp12 {
 }
 
 // Pair computes the optimal-ate pairing e(p, q). Pairing with the identity
-// in either slot yields the identity of GT.
+// in either slot yields the identity of GT. It is a one-pair wrapper over
+// the lockstep multi-pairing kernel (see multipair.go); the per-pair
+// millerLoop survives as the differential oracle.
 func Pair(p *G1, q *G2) *GT {
-	if p.IsInfinity() || q.IsInfinity() {
-		return GTOne()
-	}
-	return &GT{v: finalExponentiation(millerLoop(p, q))}
+	return PairMulti([]*G1{p}, []*G2{q})
 }
 
-// PairingCheck reports whether Π e(p_i, q_i) = 1. It shares one final
-// exponentiation across all Miller loops.
+// PairingCheck reports whether Π e(p_i, q_i) = 1. One lockstep Miller pass
+// shares the accumulator squarings across all pairs, and one final
+// exponentiation reduces the product.
 func PairingCheck(ps []*G1, qs []*G2) bool {
 	if len(ps) != len(qs) {
 		return false
 	}
-	acc := Fp12One()
-	nontrivial := false
-	for i := range ps {
-		if ps[i].IsInfinity() || qs[i].IsInfinity() {
-			continue
-		}
-		acc.Mul(acc, millerLoop(ps[i], qs[i]))
-		nontrivial = true
-	}
-	if !nontrivial {
-		return true
-	}
-	return finalExponentiation(acc).IsOne()
+	return PairMulti(ps, qs).IsOne()
 }

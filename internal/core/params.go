@@ -48,6 +48,12 @@ var (
 type Params struct {
 	// Ppub is the KGC master public key s·P.
 	Ppub *bn254.G1
+
+	// h2Override, when non-nil, replaces the H2 oracle. It exists for
+	// tests only: regression tests use it to drive pathological hash
+	// values — h ≡ 0 mod r, which has no inverse — through the
+	// verification paths without finding a SHA-256 preimage.
+	h2Override func(msg []byte, r, pid *bn254.G1) *big.Int
 }
 
 // Generator returns P, the fixed system generator of G1.
@@ -65,7 +71,10 @@ func (*Params) QID(id string) *bn254.G2 {
 
 // hashH2 computes h = H2(M, R, P_ID) ∈ Zr*, length-prefixing each component
 // so distinct tuples cannot collide.
-func (*Params) hashH2(msg []byte, r *bn254.G1, pid *bn254.G1) *big.Int {
+func (p *Params) hashH2(msg []byte, r *bn254.G1, pid *bn254.G1) *big.Int {
+	if p.h2Override != nil {
+		return p.h2Override(msg, r, pid)
+	}
 	buf := make([]byte, 0, 8+len(msg)+2*64)
 	buf = appendLengthPrefixed(buf, msg)
 	buf = append(buf, r.Marshal()...)

@@ -4,50 +4,77 @@ import (
 	"fmt"
 	"io"
 	"math/big"
-	"sync"
 
 	"mccls/internal/bn254"
+	"mccls/internal/lru"
 )
 
-// Verifier checks McCLS signatures. It caches the per-identity constant
+// DefaultIdentityCacheCap bounds the Verifier's per-identity constant
+// caches (the pairing constant e(P_pub, Q_ID) and the identity hash Q_ID).
+// Generous — 16k identities ≈ 16k·(576+128) bytes of cached curve material
+// — but bounded, so a flood of unique identities recycles cache slots
+// instead of growing memory without limit.
+const DefaultIdentityCacheCap = 1 << 14
+
+// Verifier checks McCLS signatures. It caches two per-identity constants:
 // e(P_pub, Q_ID) — the paper's "only one pairing operation since
-// e(P_pub, Q_ID) is a constant" — so steady-state verification costs a
-// single pairing. A Verifier is safe for concurrent use.
+// e(P_pub, Q_ID) is a constant", making steady-state verification a single
+// pairing — and Q_ID = H1(ID) itself, which the batch engine's multi-signer
+// equation consumes directly (hash-to-G2 costs ~½ a pairing). Both caches
+// are LRU-bounded (DefaultIdentityCacheCap by default) so unknown-identity
+// floods cannot exhaust memory. A Verifier is safe for concurrent use.
 type Verifier struct {
 	params *Params
 
-	mu    sync.Mutex
-	cache map[string]*bn254.GT
+	rhsCache *lru.Cache[*bn254.GT]
+	qidCache *lru.Cache[*bn254.G2]
 }
 
-// NewVerifier creates a verifier for the given system parameters.
+// NewVerifier creates a verifier for the given system parameters with the
+// default identity-cache bound.
 func NewVerifier(params *Params) *Verifier {
-	return &Verifier{params: params, cache: make(map[string]*bn254.GT)}
+	return NewVerifierCap(params, DefaultIdentityCacheCap)
+}
+
+// NewVerifierCap creates a verifier whose per-identity caches hold at most
+// cacheCap identities (minimum 1).
+func NewVerifierCap(params *Params, cacheCap int) *Verifier {
+	return &Verifier{
+		params:   params,
+		rhsCache: lru.New[*bn254.GT](cacheCap),
+		qidCache: lru.New[*bn254.G2](cacheCap),
+	}
+}
+
+// qid returns the cached Q_ID = H1(id), computing it on first use.
+func (vf *Verifier) qid(id string) *bn254.G2 {
+	if q, ok := vf.qidCache.Get(id); ok {
+		return q
+	}
+	// Compute outside the cache lock: hash-to-G2 costs ~0.6 ms. Two racing
+	// callers compute the same value; the second Put is idempotent.
+	q := vf.params.QID(id)
+	vf.qidCache.Put(id, q)
+	return q
 }
 
 // rhs returns the cached e(P_pub, Q_ID) for an identity, computing it on
 // first use.
 func (vf *Verifier) rhs(id string) *bn254.GT {
-	vf.mu.Lock()
-	if gt, ok := vf.cache[id]; ok {
-		vf.mu.Unlock()
+	if gt, ok := vf.rhsCache.Get(id); ok {
 		return gt
 	}
-	vf.mu.Unlock()
-	// Compute outside the lock: pairings are milliseconds.
-	gt := bn254.Pair(vf.params.Ppub, vf.params.QID(id))
-	vf.mu.Lock()
-	vf.cache[id] = gt
-	vf.mu.Unlock()
+	// Compute outside the cache lock: pairings are milliseconds.
+	gt := bn254.Pair(vf.params.Ppub, vf.qid(id))
+	vf.rhsCache.Put(id, gt)
 	return gt
 }
 
 // CacheLen reports how many identities have cached pairing constants.
-func (vf *Verifier) CacheLen() int {
-	vf.mu.Lock()
-	defer vf.mu.Unlock()
-	return len(vf.cache)
-}
+func (vf *Verifier) CacheLen() int { return vf.rhsCache.Len() }
+
+// CacheCap reports the identity-cache bound.
+func (vf *Verifier) CacheCap() int { return vf.rhsCache.Cap() }
 
 // checkShape rejects structurally invalid signatures before any group math.
 func checkShape(pk *PublicKey, sig *Signature) error {
@@ -69,6 +96,17 @@ func checkShape(pk *PublicKey, sig *Signature) error {
 	return nil
 }
 
+// invertH2 inverts the challenge hash mod r. h ≡ 0 (mod r) has no inverse
+// — a ~2⁻²⁵⁴ event for an honest oracle but reachable in principle, and
+// formerly a nil-pointer panic inside big.Int.Mul — so it is rejected as a
+// malformed signature instead.
+func invertH2(h *big.Int) (*big.Int, error) {
+	if inv := new(big.Int).ModInverse(h, bn254.Order); inv != nil {
+		return inv, nil
+	}
+	return nil, fmt.Errorf("%w: challenge hash is zero mod r", ErrInvalidSignature)
+}
+
 // Verify runs CL-Verify: with h = H2(M, R, P_ID), accept iff
 //
 //	e(V·P - h·R, h⁻¹·S) = e(P_pub, Q_ID).
@@ -76,6 +114,7 @@ func checkShape(pk *PublicKey, sig *Signature) error {
 // The implementation uses the algebraically identical fast path
 // e((V·h⁻¹)·P - R, S) = e(P_pub, Q_ID), trading the G2 scalar
 // multiplication h⁻¹·S for a scalar inversion in Zr (see DESIGN.md §3).
+// The pairing runs on the shared multi-pairing kernel (a one-pair batch).
 // It returns nil on success and ErrVerifyFailed (or a shape error) on
 // rejection.
 func (vf *Verifier) Verify(pk *PublicKey, msg []byte, sig *Signature) error {
@@ -83,7 +122,10 @@ func (vf *Verifier) Verify(pk *PublicKey, msg []byte, sig *Signature) error {
 		return err
 	}
 	h := vf.params.hashH2(msg, sig.R, pk.PID)
-	hInv := new(big.Int).ModInverse(h, bn254.Order)
+	hInv, err := invertH2(h)
+	if err != nil {
+		return err
+	}
 	// A = (V/h)·P - R, fused into one fixed-base table pass.
 	a := new(bn254.G1).ScalarBaseMultAdd(new(big.Int).Mul(sig.V, hInv), new(bn254.G1).Neg(sig.R))
 	if !bn254.Pair(a, sig.S).Equal(vf.rhs(pk.ID)) {
@@ -101,91 +143,35 @@ func (vf *Verifier) VerifySpec(pk *PublicKey, msg []byte, sig *Signature) error 
 		return err
 	}
 	h := vf.params.hashH2(msg, sig.R, pk.PID)
+	hInv, err := invertH2(h)
+	if err != nil {
+		return err
+	}
 	left := new(bn254.G1).ScalarBaseMult(sig.V)
 	left.Add(left, new(bn254.G1).Neg(new(bn254.G1).ScalarMult(sig.R, h)))
-	s := new(bn254.G2).ScalarMult(sig.S, new(big.Int).ModInverse(h, bn254.Order))
+	s := new(bn254.G2).ScalarMult(sig.S, hInv)
 	if !bn254.Pair(left, s).Equal(vf.rhs(pk.ID)) {
 		return ErrVerifyFailed
 	}
 	return nil
 }
 
-// BatchVerify checks n same-signer signatures with a single pairing:
-//
-//	e(Σᵢ((Vᵢ·hᵢ⁻¹)·P - Rᵢ), S) = e(P_pub, Q_ID)ⁿ
-//
-// All signatures must share the same S component (they do when produced by
-// the same private key; S is message-independent). This is the batch
-// behaviour McCLS inherits from the Yoon–Cheon–Kim ID-based scheme it
-// adapts. On any rejection the caller should fall back to one-by-one
-// Verify to locate the offender.
+// BatchVerify checks n same-signer signatures with a single pairing. It is
+// a thin wrapper over the batch engine's same-signer path (randomized
+// weights, bisection on rejection) with default options; use
+// Verifier.Batch for control over workers, chunking and the weight source.
+// On rejection the returned error is a *batch.Error listing the offending
+// indices (unwrapping to ErrVerifyFailed); shape-invalid input is reported
+// directly with its shape error.
 func (vf *Verifier) BatchVerify(pk *PublicKey, msgs [][]byte, sigs []*Signature) error {
-	if len(msgs) != len(sigs) {
-		return ErrBatchMismatch
-	}
-	if len(sigs) == 0 {
-		return nil
-	}
-	s0 := sigs[0].S
-	acc := bn254.G1Infinity()
-	for i, sig := range sigs {
-		if err := checkShape(pk, sig); err != nil {
-			return err
-		}
-		if !sig.S.Equal(s0) {
-			return fmt.Errorf("%w: batch requires a common S component", ErrBatchMismatch)
-		}
-		h := vf.params.hashH2(msgs[i], sig.R, pk.PID)
-		hInv := new(big.Int).ModInverse(h, bn254.Order)
-		term := new(bn254.G1).ScalarBaseMultAdd(new(big.Int).Mul(sig.V, hInv), new(bn254.G1).Neg(sig.R))
-		acc.Add(acc, term)
-	}
-	want := new(bn254.GT).Exp(vf.rhs(pk.ID), big.NewInt(int64(len(sigs))))
-	if !bn254.Pair(acc, s0).Equal(want) {
-		return ErrVerifyFailed
-	}
-	return nil
+	return vf.Batch(BatchOptions{}).VerifySameSigner(pk, msgs, sigs)
 }
 
-// VerifyBatchMulti checks signatures from *different* signers in one shot.
-// Unlike BatchVerify it cannot collapse to a single pairing (each signer
-// contributes its own S), but it shares one final exponentiation across all
-// Miller loops and randomizes each equation with a fresh weight ρᵢ so an
-// attacker cannot craft signatures whose errors cancel:
-//
-//	Π e(ρᵢ·Aᵢ, Sᵢ) · e(-P_pub, Σᵢ ρᵢ·Q_IDᵢ) = 1,  Aᵢ = (Vᵢ·hᵢ⁻¹)·P - Rᵢ
-//
-// On rejection fall back to per-signature Verify to locate offenders.
-// Passing a nil reader uses crypto/rand for the weights.
+// VerifyBatchMulti checks signatures from *different* signers in one shot
+// through the batch engine (see BatchVerifier.VerifyMulti): one lockstep
+// multi-pairing per chunk, randomized weights, bisection on rejection.
+// Passing a nil reader uses crypto/rand for the weights. Kept for
+// compatibility; Verifier.Batch exposes the full engine.
 func (vf *Verifier) VerifyBatchMulti(pks []*PublicKey, msgs [][]byte, sigs []*Signature, rng io.Reader) error {
-	if len(pks) != len(msgs) || len(msgs) != len(sigs) {
-		return ErrBatchMismatch
-	}
-	if len(sigs) == 0 {
-		return nil
-	}
-	ps := make([]*bn254.G1, 0, len(sigs)+1)
-	qs := make([]*bn254.G2, 0, len(sigs)+1)
-	qSum := bn254.G2Infinity()
-	for i, sig := range sigs {
-		if err := checkShape(pks[i], sig); err != nil {
-			return err
-		}
-		rho, err := bn254.RandomScalar(rng)
-		if err != nil {
-			return fmt.Errorf("mccls: batch weights: %w", err)
-		}
-		h := vf.params.hashH2(msgs[i], sig.R, pks[i].PID)
-		hInv := new(big.Int).ModInverse(h, bn254.Order)
-		a := new(bn254.G1).ScalarBaseMultAdd(new(big.Int).Mul(sig.V, hInv), new(bn254.G1).Neg(sig.R))
-		ps = append(ps, a.ScalarMult(a, rho))
-		qs = append(qs, sig.S)
-		qSum.Add(qSum, new(bn254.G2).ScalarMult(vf.params.QID(pks[i].ID), rho))
-	}
-	ps = append(ps, new(bn254.G1).Neg(vf.params.Ppub))
-	qs = append(qs, qSum)
-	if !bn254.PairingCheck(ps, qs) {
-		return ErrVerifyFailed
-	}
-	return nil
+	return vf.Batch(BatchOptions{Weights: rng}).VerifyMulti(pks, msgs, sigs)
 }

@@ -161,6 +161,13 @@ type Scenario struct {
 	// SignLatency and VerifyLatency override the injected crypto costs
 	// (0 selects the secrouting defaults). Ignored under Plain.
 	SignLatency, VerifyLatency time.Duration
+	// VerifyBatch models receivers that drain their verification queue in
+	// windows of this size through the batch engine: the per-packet verify
+	// latency becomes the amortized batch cost
+	// secrouting.DefaultVerifyCostModel().PerSignature(VerifyBatch).
+	// 0 or 1 keeps sequential verification; an explicit VerifyLatency
+	// override wins. Ignored under Plain.
+	VerifyBatch int
 
 	// Faults is an explicit fault schedule applied to the run: node
 	// crash/restart cycles, link and region outages, loss windows.
@@ -438,6 +445,20 @@ func (sc Scenario) buildMobility(horizon time.Duration, rng *rand.Rand) (mobilit
 	}
 }
 
+// effectiveVerifyLatency resolves the per-packet verify latency: an
+// explicit VerifyLatency override wins, then a VerifyBatch window > 1
+// charges the amortized batch cost, and otherwise the model's sequential
+// default applies.
+func (sc Scenario) effectiveVerifyLatency(model secrouting.VerifyCostModel) time.Duration {
+	if sc.VerifyLatency != 0 {
+		return sc.VerifyLatency
+	}
+	if sc.VerifyBatch > 1 {
+		return model.PerSignature(sc.VerifyBatch)
+	}
+	return model.Sequential
+}
+
 // buildAuth constructs the authenticator for the security mode. Without
 // online enrollment it keys every honest node before t=0; with it, nodes
 // start keyless and the returned Authority is what the enrollment protocol
@@ -459,9 +480,7 @@ func (sc Scenario) buildAuth(rng *rand.Rand, attackers map[int]bool) (aodv.Authe
 		if sc.SignLatency != 0 {
 			m.SignLatency = sc.SignLatency
 		}
-		if sc.VerifyLatency != 0 {
-			m.VerifyLatency = sc.VerifyLatency
-		}
+		m.VerifyLatency = sc.effectiveVerifyLatency(m.BatchModel)
 		a = m
 	case McCLSReal:
 		m, err := secrouting.NewMcCLSAuth(rng)
@@ -471,9 +490,7 @@ func (sc Scenario) buildAuth(rng *rand.Rand, attackers map[int]bool) (aodv.Authe
 		if sc.SignLatency != 0 {
 			m.SignLatency = sc.SignLatency
 		}
-		if sc.VerifyLatency != 0 {
-			m.VerifyLatency = sc.VerifyLatency
-		}
+		m.VerifyLatency = sc.effectiveVerifyLatency(m.BatchModel)
 		a = m
 	default:
 		return nil, nil, fmt.Errorf("experiments: unknown security mode %d", sc.Security)

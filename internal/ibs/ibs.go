@@ -23,6 +23,7 @@ import (
 	"io"
 	"math/big"
 
+	"mccls/internal/batch"
 	"mccls/internal/bn254"
 )
 
@@ -124,33 +125,57 @@ func Verify(params *Params, id string, msg []byte, sig *Signature) error {
 }
 
 // BatchVerify checks n same-signer signatures with the scheme's signature
-// aggregation: two pairings total regardless of n.
+// aggregation: two pairings per chunk regardless of chunk width (one chunk
+// for batches up to the engine's default width). It routes through the
+// shared internal/batch engine, so a rejected batch bisects down to the
+// offending signatures and reports them via *batch.Error rather than
+// forcing the caller to re-verify one by one.
 func BatchVerify(params *Params, id string, msgs [][]byte, sigs []*Signature) error {
+	return BatchVerifyOpts(params, id, msgs, sigs, batch.Options{})
+}
+
+// BatchVerifyOpts is BatchVerify with explicit engine options (worker pool
+// bound and chunk width).
+func BatchVerifyOpts(params *Params, id string, msgs [][]byte, sigs []*Signature, opts batch.Options) error {
 	if len(msgs) != len(sigs) {
 		return ErrBatchMismatch
 	}
-	if len(sigs) == 0 {
+	n := len(sigs)
+	if n == 0 {
 		return nil
 	}
-	q := bn254.HashToG2(domainH1, []byte(id))
-	vSum := bn254.G2Infinity()
-	rhs := bn254.G2Infinity()
-	hSum := new(big.Int)
-	for i, sig := range sigs {
+	for _, sig := range sigs {
 		if sig == nil || sig.U == nil || sig.V == nil {
 			return ErrVerifyFailed
 		}
-		vSum.Add(vSum, sig.V)
-		rhs.Add(rhs, sig.U)
-		hSum.Add(hSum, hashH2(msgs[i], sig.U))
 	}
-	rhs.Add(rhs, new(bn254.G2).ScalarMult(q, hSum))
+	q := bn254.HashToG2(domainH1, []byte(id))
+	hs := make([]*big.Int, n)
+	for i := range hs {
+		hs[i] = hashH2(msgs[i], sigs[i].U)
+	}
 	negP := new(bn254.G1).Neg(bn254.G1Generator())
-	if !bn254.PairingCheck(
-		[]*bn254.G1{negP, params.Ppub},
-		[]*bn254.G2{vSum, rhs},
-	) {
-		return ErrVerifyFailed
+	check := func(idxs []int) bool {
+		vSum := bn254.G2Infinity()
+		rhs := bn254.G2Infinity()
+		hSum := new(big.Int)
+		for _, i := range idxs {
+			vSum.Add(vSum, sigs[i].V)
+			rhs.Add(rhs, sigs[i].U)
+			hSum.Add(hSum, hs[i])
+		}
+		rhs.Add(rhs, new(bn254.G2).ScalarMult(q, hSum))
+		return bn254.PairingCheck(
+			[]*bn254.G1{negP, params.Ppub},
+			[]*bn254.G2{vSum, rhs},
+		)
+	}
+	bad, err := batch.Reject(n, opts, check, nil)
+	if err != nil {
+		return err
+	}
+	if len(bad) > 0 {
+		return &batch.Error{Bad: bad, Cause: ErrVerifyFailed}
 	}
 	return nil
 }

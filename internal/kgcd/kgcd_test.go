@@ -271,35 +271,6 @@ func TestNewServerRejectsBadConfig(t *testing.T) {
 	}
 }
 
-func TestLRU(t *testing.T) {
-	c := newLRU[int](2)
-	c.Put("a", 1)
-	c.Put("b", 2)
-	if _, ok := c.Get("a"); !ok {
-		t.Fatal("a evicted early")
-	}
-	c.Put("c", 3) // evicts b (a was just touched)
-	if _, ok := c.Get("b"); ok {
-		t.Fatal("b survived past capacity")
-	}
-	if v, ok := c.Get("a"); !ok || v != 1 {
-		t.Fatal("a lost")
-	}
-	c.Put("a", 10)
-	if v, _ := c.Get("a"); v != 10 {
-		t.Fatal("replace failed")
-	}
-	if got := c.GetOrCreate("d", func() int { return 4 }); got != 4 {
-		t.Fatal("GetOrCreate insert failed")
-	}
-	if got := c.GetOrCreate("d", func() int { return 5 }); got != 4 {
-		t.Fatal("GetOrCreate re-created an existing entry")
-	}
-	if c.Len() != 2 {
-		t.Fatalf("len = %d, want 2", c.Len())
-	}
-}
-
 func TestRateLimiterRefill(t *testing.T) {
 	rl := newRateLimiter(2, 2, 16) // 2/s, burst 2
 	now := time.Unix(0, 0)

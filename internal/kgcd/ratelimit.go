@@ -3,6 +3,8 @@ package kgcd
 import (
 	"sync"
 	"time"
+
+	"mccls/internal/lru"
 )
 
 // rateLimiter is a per-identity token bucket: each identity may enroll in
@@ -17,7 +19,7 @@ type rateLimiter struct {
 	rate    float64 // tokens per second
 	burst   float64
 	now     func() time.Time // injectable clock for tests
-	buckets *lru[*tokenBucket]
+	buckets *lru.Cache[*tokenBucket]
 }
 
 type tokenBucket struct {
@@ -35,7 +37,7 @@ func newRateLimiter(rate float64, burst int, maxIdentities int) *rateLimiter {
 		rate:    rate,
 		burst:   float64(burst),
 		now:     time.Now,
-		buckets: newLRU[*tokenBucket](maxIdentities),
+		buckets: lru.New[*tokenBucket](maxIdentities),
 	}
 }
 

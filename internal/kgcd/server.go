@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"mccls/internal/core"
+	"mccls/internal/lru"
 	"mccls/internal/threshold"
 )
 
@@ -93,7 +94,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg     Config
 	issuers []shareIssuer
-	cache   *lru[string] // identity → hex-marshalled partial key
+	cache   *lru.Cache[string] // identity → hex-marshalled partial key
 	limiter *rateLimiter
 	metrics metrics
 	rr      atomic.Uint32 // round-robin cursor over signer replicas
@@ -111,7 +112,7 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:     cfg,
-		cache:   newLRU[string](cfg.CacheSize),
+		cache:   lru.New[string](cfg.CacheSize),
 		limiter: newRateLimiter(cfg.RatePerSec, cfg.RateBurst, 2*cfg.CacheSize),
 	}
 	for _, u := range cfg.SignerURLs {

@@ -1,0 +1,79 @@
+package schemes
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"mccls/internal/batch"
+)
+
+// TestBatchSystems exercises the batch path of every scheme that offers
+// one — and pins which schemes do: McCLS and YHG batch, AP and ZWXF do not.
+func TestBatchSystems(t *testing.T) {
+	batchable := map[string]bool{"McCLS": true, "YHG": true, "AP": false, "ZWXF": false}
+	for _, sch := range All() {
+		sch := sch
+		name := sch.Profile().Name
+		t.Run(name, func(t *testing.T) {
+			rng := testRng(7)
+			sys, err := sch.Setup(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bs, ok := sys.(BatchSystem)
+			if ok != batchable[name] {
+				t.Fatalf("batchable = %v, want %v", ok, batchable[name])
+			}
+			if !ok {
+				return
+			}
+			const n, signers = 10, 3
+			users := make([]User, signers)
+			for j := range users {
+				if users[j], err = sys.NewUser("node-"+string(rune('a'+j)), rng); err != nil {
+					t.Fatal(err)
+				}
+			}
+			items := make([]BatchItem, n)
+			for i := range items {
+				u := users[i%signers]
+				msg := []byte{byte(i), 0xAB}
+				sig, err := u.Sign(msg, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				items[i] = BatchItem{ID: u.ID(), PublicKey: u.PublicKey(), Msg: msg, Sig: sig}
+			}
+			if err := bs.BatchVerify(items); err != nil {
+				t.Fatalf("valid batch rejected: %v", err)
+			}
+			if err := bs.BatchVerify(nil); err != nil {
+				t.Fatalf("empty batch rejected: %v", err)
+			}
+			// Tamper one message: the batch must reject with the offending
+			// index located by bisection.
+			tampered := make([]BatchItem, n)
+			copy(tampered, items)
+			tampered[4].Msg = []byte("junk")
+			err = bs.BatchVerify(tampered)
+			if !errors.Is(err, ErrVerifyFailed) {
+				t.Fatalf("tampered batch: %v", err)
+			}
+			var be *batch.Error
+			if !errors.As(err, &be) {
+				t.Fatalf("rejection is not a *batch.Error: %v", err)
+			}
+			if !reflect.DeepEqual(be.Bad, []int{4}) {
+				t.Fatalf("offenders %v, want [4]", be.Bad)
+			}
+			// Malformed input is a structural error, not a verify failure.
+			short := make([]BatchItem, n)
+			copy(short, items)
+			short[0].Sig = items[0].Sig[:8]
+			if err := bs.BatchVerify(short); !errors.Is(err, ErrMalformed) {
+				t.Fatalf("truncated signature in batch: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,173 @@
+package secrouting
+
+import (
+	"crypto/sha256"
+	"time"
+
+	"mccls/internal/core"
+)
+
+// VerifyCostModel is the batch-size-dependent verification latency model.
+// Verifying a window of n control-packet signatures through the lockstep
+// multi-pairing engine costs
+//
+//	cost(n) = PerBatch + n·PerSig        (capped at n·Sequential)
+//
+// where PerBatch is the batch-shared work (the one final exponentiation and
+// the lockstep accumulator squarings of the chunk's multi-pairing) and
+// PerSig the marginal per-signature work (its Miller lines plus the
+// weighted commitment arithmetic). At n = 1 the model charges Sequential,
+// the plain cached-constant Verify cost — a one-element batch never pays
+// the engine's weighting overhead.
+//
+// The default figures are a linear fit of the batch_verify sweep in
+// BENCH_bn254.json (cmd/mcclsbench -batch on the reference x86 host:
+// ~2.6 ms fixed + ~0.6 ms marginal per signature), rounded up with the
+// same ~1.5× slower-hardware headroom convention as DefaultVerifyLatency;
+// see EXPERIMENTS.md.
+type VerifyCostModel struct {
+	// Sequential is the per-signature cost of the non-batched Verify.
+	Sequential time.Duration
+	// PerBatch is the fixed cost shared by one batch window.
+	PerBatch time.Duration
+	// PerSig is the marginal cost per signature inside a batch.
+	PerSig time.Duration
+}
+
+// DefaultVerifyCostModel returns the model calibrated against the
+// reference-host batch sweep.
+func DefaultVerifyCostModel() VerifyCostModel {
+	return VerifyCostModel{
+		Sequential: DefaultVerifyLatency,
+		PerBatch:   3900 * time.Microsecond,
+		PerSig:     900 * time.Microsecond,
+	}
+}
+
+// Batch returns the total latency for a window of n signatures.
+func (m VerifyCostModel) Batch(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	if n == 1 {
+		return m.Sequential
+	}
+	cost := m.PerBatch + time.Duration(n)*m.PerSig
+	if seq := time.Duration(n) * m.Sequential; cost > seq {
+		return seq
+	}
+	return cost
+}
+
+// PerSignature returns the amortized per-signature latency at window size
+// n — the figure sweeps feed this into the per-packet VerifyLatency when
+// modelling receivers that drain their verification queue in batches.
+func (m VerifyCostModel) PerSignature(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return m.Batch(n) / time.Duration(n)
+}
+
+// BatchAuthenticator is implemented by authenticators that can verify a
+// window of control packets in one batch — the RREQ-flood fast path.
+// Decisions must match per-packet Verify exactly; only the charged latency
+// differs.
+type BatchAuthenticator interface {
+	// VerifyBatch checks auths[i] over payloads[i] claimed by senders[i],
+	// returning one verdict per packet and the total processing delay for
+	// the window.
+	VerifyBatch(senders []int, payloads, auths [][]byte) (ok []bool, delay time.Duration)
+}
+
+var (
+	_ BatchAuthenticator = (*McCLSAuth)(nil)
+	_ BatchAuthenticator = (*CostModelAuth)(nil)
+)
+
+// VerifyBatch checks a window of control packets with one multi-signer
+// batch verification (core.BatchVerifier.VerifyMulti): one lockstep
+// multi-pairing per chunk, per-identity Q_ID grouping, bisection locating
+// any offenders. Malformed tags are rejected at parse time for
+// ParseLatency each; the parsed remainder is charged the BatchModel cost
+// for its window size. Accept/reject matches per-packet Verify exactly.
+func (a *McCLSAuth) VerifyBatch(senders []int, payloads, auths [][]byte) ([]bool, time.Duration) {
+	n := len(senders)
+	ok := make([]bool, n)
+	var delay time.Duration
+	idx := make([]int, 0, n) // positions that parsed and enter the batch
+	pks := make([]*core.PublicKey, 0, n)
+	msgs := make([][]byte, 0, n)
+	sigs := make([]*core.Signature, 0, n)
+	for i := 0; i < n; i++ {
+		auth := auths[i]
+		if len(auth) != 64+core.SignatureSize {
+			delay += a.ParseLatency
+			continue
+		}
+		pk, err := reassemblePublicKey(NodeIdentity(senders[i]), auth[:64])
+		if err != nil {
+			delay += a.ParseLatency
+			continue
+		}
+		sig, err := core.UnmarshalSignature(auth[64:])
+		if err != nil {
+			delay += a.ParseLatency
+			continue
+		}
+		idx = append(idx, i)
+		pks = append(pks, pk)
+		msgs = append(msgs, payloads[i])
+		sigs = append(sigs, sig)
+	}
+	if len(idx) == 0 {
+		return ok, delay
+	}
+	delay += a.BatchModel.Batch(len(idx))
+	err := a.vf.Batch(core.BatchOptions{}).VerifyMulti(pks, msgs, sigs)
+	switch {
+	case err == nil:
+		for _, i := range idx {
+			ok[i] = true
+		}
+	default:
+		bad := core.BatchOffenders(err)
+		if bad == nil {
+			// Structural rejection without an offender list (e.g. a
+			// zero challenge hash): fall back to per-packet decisions.
+			for j, i := range idx {
+				ok[i] = a.vf.Verify(pks[j], msgs[j], sigs[j]) == nil
+			}
+			break
+		}
+		badSet := make(map[int]bool, len(bad))
+		for _, j := range bad {
+			badSet[j] = true
+		}
+		for j, i := range idx {
+			ok[i] = !badSet[j]
+		}
+	}
+	return ok, delay
+}
+
+// VerifyBatch mirrors McCLSAuth.VerifyBatch on the cost model: identical
+// accept/reject to per-packet Verify, with the window charged
+// BatchModel.Batch(n) instead of n times the sequential latency.
+func (a *CostModelAuth) VerifyBatch(senders []int, payloads, auths [][]byte) ([]bool, time.Duration) {
+	n := len(senders)
+	ok := make([]bool, n)
+	var delay time.Duration
+	checked := 0
+	for i := 0; i < n; i++ {
+		if len(auths[i]) != sha256.Size {
+			delay += a.ParseLatency
+			continue
+		}
+		checked++
+		verdict, _ := a.Verify(senders[i], payloads[i], auths[i])
+		ok[i] = verdict
+	}
+	delay += a.BatchModel.Batch(checked)
+	return ok, delay
+}

@@ -1,0 +1,131 @@
+package secrouting
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestVerifyCostModel(t *testing.T) {
+	m := DefaultVerifyCostModel()
+	if m.Batch(0) != 0 || m.PerSignature(0) != 0 {
+		t.Fatal("empty window must cost nothing")
+	}
+	if m.Batch(1) != m.Sequential {
+		t.Fatal("a one-element batch must cost the sequential verify")
+	}
+	// Amortization must be monotone: per-signature cost never increases
+	// with window size, and a wide window beats sequential by ≥ 2×.
+	prev := m.PerSignature(1)
+	for _, n := range []int{2, 8, 64, 256} {
+		per := m.PerSignature(n)
+		if per > prev {
+			t.Fatalf("per-signature cost rose from %v to %v at n=%d", prev, per, n)
+		}
+		prev = per
+	}
+	if per := m.PerSignature(64); per > m.Sequential/2 {
+		t.Fatalf("batch-64 per-signature cost %v does not halve sequential %v", per, m.Sequential)
+	}
+	// The model never charges more than sequential verification would.
+	for n := 1; n <= 300; n++ {
+		if m.Batch(n) > time.Duration(n)*m.Sequential {
+			t.Fatalf("batch(%d) exceeds sequential cost", n)
+		}
+	}
+}
+
+// TestMcCLSAuthVerifyBatchEquivalence pins the RREQ-flood fast path to the
+// per-packet decisions: a window mixing honest signatures, an unenrolled
+// attacker's garbage tag, a tampered payload and a truncated tag must get
+// exactly the verdicts sequential Verify produces.
+func TestMcCLSAuthVerifyBatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a, err := NewMcCLSAuth(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const honest = 6
+	for n := 0; n < honest; n++ {
+		if err := a.Enroll(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var senders []int
+	var payloads, auths [][]byte
+	add := func(node int, payload, auth []byte) {
+		senders = append(senders, node)
+		payloads = append(payloads, payload)
+		auths = append(auths, auth)
+	}
+	for n := 0; n < honest; n++ {
+		payload := []byte{0x52, byte(n)} // RREQ-ish
+		tag, _, err := a.Sign(n, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		add(n, payload, tag)
+	}
+	// Unenrolled attacker: zero tag.
+	attackerTag, _, _ := a.Sign(97, []byte("flood"))
+	add(97, []byte("flood"), attackerTag)
+	// Honest signature over a payload the attacker then flipped in flight.
+	tampered, _, err := a.Sign(1, []byte("original"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	add(1, []byte("flipped"), tampered)
+	// Truncated tag.
+	add(2, []byte("short"), []byte{1, 2, 3})
+
+	want := make([]bool, len(senders))
+	parsed := 0
+	var parseCost time.Duration
+	for i := range senders {
+		var d time.Duration
+		want[i], d = a.Verify(senders[i], payloads[i], auths[i])
+		if d == a.VerifyLatency {
+			parsed++
+		} else {
+			parseCost += d
+		}
+	}
+	got, delay := a.VerifyBatch(senders, payloads, auths)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("packet %d: batch verdict %v, sequential verdict %v", i, got[i], want[i])
+		}
+	}
+	if wantDelay := a.BatchModel.Batch(parsed) + parseCost; delay != wantDelay {
+		t.Fatalf("delay %v, want %v", delay, wantDelay)
+	}
+}
+
+func TestCostModelAuthVerifyBatchEquivalence(t *testing.T) {
+	a := NewCostModelAuth()
+	for n := 0; n < 3; n++ {
+		if err := a.Enroll(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	senders := []int{0, 1, 2, 9, 1}
+	payloads := [][]byte{{1}, {2}, {3}, {4}, {5}}
+	auths := make([][]byte, len(senders))
+	for i, n := range senders {
+		auths[i], _, _ = a.Sign(n, payloads[i])
+	}
+	auths[4] = []byte("bogus") // malformed
+	want := make([]bool, len(senders))
+	for i := range senders {
+		want[i], _ = a.Verify(senders[i], payloads[i], auths[i])
+	}
+	got, delay := a.VerifyBatch(senders, payloads, auths)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("packet %d: batch verdict %v, sequential verdict %v", i, got[i], want[i])
+		}
+	}
+	if wantDelay := a.BatchModel.Batch(4) + a.ParseLatency; delay != wantDelay {
+		t.Fatalf("delay %v, want %v", delay, wantDelay)
+	}
+}

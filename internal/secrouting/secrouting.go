@@ -65,9 +65,12 @@ type McCLSAuth struct {
 	// SignLatency and VerifyLatency are the virtual-time processing
 	// delays charged per operation; ParseLatency is charged for
 	// rejecting a malformed tag before any curve arithmetic runs.
+	// BatchModel prices VerifyBatch windows (amortized flood
+	// verification); see VerifyCostModel.
 	SignLatency   time.Duration
 	VerifyLatency time.Duration
 	ParseLatency  time.Duration
+	BatchModel    VerifyCostModel
 
 	rng io.Reader
 }
@@ -88,6 +91,7 @@ func NewMcCLSAuth(rng io.Reader) (*McCLSAuth, error) {
 		SignLatency:   DefaultSignLatency,
 		VerifyLatency: DefaultVerifyLatency,
 		ParseLatency:  DefaultParseLatency,
+		BatchModel:    DefaultVerifyCostModel(),
 		rng:           rng,
 	}, nil
 }
@@ -170,6 +174,7 @@ type CostModelAuth struct {
 	SignLatency   time.Duration
 	VerifyLatency time.Duration
 	ParseLatency  time.Duration
+	BatchModel    VerifyCostModel
 	OverheadBytes int
 
 	authorized map[int]bool
@@ -185,6 +190,7 @@ func NewCostModelAuth() *CostModelAuth {
 		SignLatency:   DefaultSignLatency,
 		VerifyLatency: DefaultVerifyLatency,
 		ParseLatency:  DefaultParseLatency,
+		BatchModel:    DefaultVerifyCostModel(),
 		OverheadBytes: 64 + core.SignatureSize,
 		authorized:    make(map[int]bool),
 		secret:        [16]byte{0x4d, 0x63, 0x43, 0x4c, 0x53}, // stand-in for the KGC trust root
