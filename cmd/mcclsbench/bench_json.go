@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mccls/internal/bn254"
+	"mccls/internal/bn254/fp"
 	"mccls/internal/core"
 )
 
@@ -35,6 +36,23 @@ type batchSweepEntry struct {
 	Speedup float64 `json:"speedup_vs_sequential"`
 }
 
+// fpKernelEntry compares the dispatched base-field kernel (assembly
+// where the platform has one) against the portable generic code for one
+// operation, on this machine, in this run.
+type fpKernelEntry struct {
+	Op        string  `json:"op"`
+	GenericNs float64 `json:"generic_ns_per_op"`
+	FastNs    float64 `json:"fast_ns_per_op"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// fpKernelReport records which Fp kernel path the build selected
+// ("adx" or "generic") and the per-op generic-vs-fast microbenchmarks.
+type fpKernelReport struct {
+	Path string          `json:"path"`
+	Ops  []fpKernelEntry `json:"ops"`
+}
+
 // benchReport is the schema of BENCH_bn254.json: enough context to compare
 // runs across machines plus the per-primitive timings and the batch sweep.
 type benchReport struct {
@@ -42,6 +60,7 @@ type benchReport struct {
 	GOARCH      string            `json:"goarch"`
 	Curve       string            `json:"curve"`
 	Timestamp   string            `json:"timestamp"`
+	FpKernel    *fpKernelReport   `json:"fp_kernel,omitempty"`
 	Results     []benchEntry      `json:"results"`
 	BatchVerify []batchSweepEntry `json:"batch_verify,omitempty"`
 }
@@ -60,6 +79,47 @@ func timeOp(name string, iters int, fn func()) benchEntry {
 		NsPerOp: ns,
 		MsPerOp: float64(ns) / float64(time.Millisecond),
 	}
+}
+
+// timeKernelNs measures fn with sub-nanosecond resolution — the Fp
+// kernels run in tens of nanoseconds, so the integer ns/op of timeOp
+// would round most of the signal away.
+func timeKernelNs(fn func()) float64 {
+	const iters = 2_000_000
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+// benchFpKernel measures the dispatched Mul/Square/Add against the
+// portable generic kernels and reports which path the build selected.
+func benchFpKernel(r *rand.Rand) *fpKernelReport {
+	var x, y, z fp.Element
+	x.SetBigInt(new(big.Int).Rand(r, bn254.P))
+	y.SetBigInt(new(big.Int).Rand(r, bn254.P))
+	rep := &fpKernelReport{Path: fp.KernelPath()}
+	for _, op := range []struct {
+		name    string
+		fast    func()
+		generic func()
+	}{
+		{"mul", func() { z.Mul(&x, &y) }, func() { fp.GenericMul(&z, &x, &y) }},
+		{"square", func() { z.Square(&x) }, func() { fp.GenericSquare(&z, &x) }},
+		{"add", func() { z.Add(&x, &y) }, func() { fp.GenericAdd(&z, &x, &y) }},
+	} {
+		e := fpKernelEntry{
+			Op:        op.name,
+			GenericNs: timeKernelNs(op.generic),
+			FastNs:    timeKernelNs(op.fast),
+		}
+		if e.FastNs > 0 {
+			e.Speedup = e.GenericNs / e.FastNs
+		}
+		rep.Ops = append(rep.Ops, e)
+	}
+	return rep
 }
 
 // benchBatchSweep times the multi-signer batch engine at each batch size.
@@ -173,8 +233,9 @@ func writeBenchJSON(path string, iters int, batchSizes []int) error {
 	rep := benchReport{
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,
-		Curve:     "BN254 (Montgomery fixed-width Fp, GLV/wNAF + lockstep multi-pairing + cyclotomic final exp)",
+		Curve:     "BN254 (Montgomery fixed-width Fp + platform mul kernels, GLV/wNAF + lockstep multi-pairing + cyclotomic final exp)",
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		FpKernel:  benchFpKernel(r),
 		Results: []benchEntry{
 			timeOp("pairing", iters, func() { bn254.Pair(p, q) }),
 			timeOp("g1_scalar_mult", iters, func() { new(bn254.G1).ScalarMult(p, k2) }),

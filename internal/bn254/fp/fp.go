@@ -49,10 +49,25 @@ var (
 	qBig = mustDecimal("21888242871839275222246405745257275088696311157297823662689037894645226208583")
 
 	// qMinus2 is the Inverse exponent (Fermat), qPlus1Over4 the Sqrt
-	// exponent (q ≡ 3 mod 4). Both are public constants, so the
-	// square-and-multiply ladders leak nothing about their inputs' values.
+	// exponent (q ≡ 3 mod 4). Both are public constants, so the fixed
+	// exponentiation chains leak nothing about their inputs' values.
+	// The big.Int forms are retained for the init cross-check and as
+	// test oracles; the runtime Inverse/Sqrt paths use the plain limb
+	// forms below and never touch math/big.
 	qMinus2     = new(big.Int).Sub(qBig, big.NewInt(2))
 	qPlus1Over4 = new(big.Int).Rsh(new(big.Int).Add(qBig, big.NewInt(1)), 2)
+
+	// qMinus2Limbs and qPlus1Over4Limbs are the same exponents as plain
+	// (non-Montgomery) little-endian limbs for the expFixed chain.
+	// q0 ends in 0x47 and q0+1 in 0x48, so the -2 borrows nothing and
+	// the +1 carries nothing beyond limb 0.
+	qMinus2Limbs     = [4]uint64{q0 - 2, q1, q2, q3}
+	qPlus1Over4Limbs = [4]uint64{
+		uint64(q0+1)>>2 | uint64(q1&3)<<62,
+		uint64(q1)>>2 | uint64(q2&3)<<62,
+		uint64(q2)>>2 | uint64(q3&3)<<62,
+		uint64(q3) >> 2,
+	}
 
 	// qHalf = (q-1)/2 in plain (non-Montgomery) limbs, for IsNeg.
 	qHalf = bigToLimbs(new(big.Int).Rsh(qBig, 1))
@@ -100,6 +115,12 @@ func init() {
 	want := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 64), qInv)
 	if want.Uint64() != qInvNeg {
 		panic("fp: Montgomery factor qInvNeg is wrong")
+	}
+	if bigToLimbs(qMinus2) != Element(qMinus2Limbs) {
+		panic("fp: qMinus2 limb constant is wrong")
+	}
+	if bigToLimbs(qPlus1Over4) != Element(qPlus1Over4Limbs) {
+		panic("fp: qPlus1Over4 limb constant is wrong")
 	}
 }
 
@@ -198,99 +219,30 @@ func (z *Element) IsNeg() bool {
 
 // reduce conditionally subtracts q so z lands in [0, q), without
 // branching on the value.
-func (z *Element) reduce() {
-	var b uint64
-	t0, b := bits.Sub64(z[0], q0, 0)
-	t1, b := bits.Sub64(z[1], q1, b)
-	t2, b := bits.Sub64(z[2], q2, b)
-	t3, b := bits.Sub64(z[3], q3, b)
-	mask := b - 1 // all-ones iff the subtraction did not borrow (z ≥ q)
-	z[0] = (t0 & mask) | (z[0] &^ mask)
-	z[1] = (t1 & mask) | (z[1] &^ mask)
-	z[2] = (t2 & mask) | (z[2] &^ mask)
-	z[3] = (t3 & mask) | (z[3] &^ mask)
-}
+func (z *Element) reduce() { reduceGeneric(z) }
 
 // Add sets z = x + y and returns z.
 func (z *Element) Add(x, y *Element) *Element {
-	var c uint64
-	z[0], c = bits.Add64(x[0], y[0], 0)
-	z[1], c = bits.Add64(x[1], y[1], c)
-	z[2], c = bits.Add64(x[2], y[2], c)
-	z[3], _ = bits.Add64(x[3], y[3], c) // x+y < 2q < 2^255: no carry out
-	z.reduce()
+	add(z, x, y)
 	return z
 }
 
 // Double sets z = 2x and returns z.
-func (z *Element) Double(x *Element) *Element { return z.Add(x, x) }
+func (z *Element) Double(x *Element) *Element {
+	double(z, x)
+	return z
+}
 
 // Sub sets z = x - y and returns z.
 func (z *Element) Sub(x, y *Element) *Element {
-	var b uint64
-	z[0], b = bits.Sub64(x[0], y[0], 0)
-	z[1], b = bits.Sub64(x[1], y[1], b)
-	z[2], b = bits.Sub64(x[2], y[2], b)
-	z[3], b = bits.Sub64(x[3], y[3], b)
-	mask := uint64(0) - b // all-ones iff we borrowed: add q back
-	var c uint64
-	z[0], c = bits.Add64(z[0], q0&mask, 0)
-	z[1], c = bits.Add64(z[1], q1&mask, c)
-	z[2], c = bits.Add64(z[2], q2&mask, c)
-	z[3], _ = bits.Add64(z[3], q3&mask, c)
+	sub(z, x, y)
 	return z
 }
 
 // Neg sets z = -x and returns z.
 func (z *Element) Neg(x *Element) *Element {
-	nz := x[0] | x[1] | x[2] | x[3]
-	mask := uint64(0) - ((nz | (uint64(0) - nz)) >> 63) // all-ones iff x ≠ 0
-	var b uint64
-	t0, b := bits.Sub64(q0, x[0], 0)
-	t1, b := bits.Sub64(q1, x[1], b)
-	t2, b := bits.Sub64(q2, x[2], b)
-	t3, _ := bits.Sub64(q3, x[3], b)
-	z[0] = t0 & mask
-	z[1] = t1 & mask
-	z[2] = t2 & mask
-	z[3] = t3 & mask
+	neg(z, x)
 	return z
-}
-
-// madd0 returns the high word of a·b + c.
-func madd0(a, b, c uint64) uint64 {
-	hi, lo := bits.Mul64(a, b)
-	_, carry := bits.Add64(lo, c, 0)
-	hi, _ = bits.Add64(hi, 0, carry)
-	return hi
-}
-
-// madd1 returns a·b + t as (hi, lo).
-func madd1(a, b, t uint64) (uint64, uint64) {
-	hi, lo := bits.Mul64(a, b)
-	lo, carry := bits.Add64(lo, t, 0)
-	hi, _ = bits.Add64(hi, 0, carry)
-	return hi, lo
-}
-
-// madd2 returns a·b + c + d as (hi, lo).
-func madd2(a, b, c, d uint64) (uint64, uint64) {
-	hi, lo := bits.Mul64(a, b)
-	c, carry := bits.Add64(c, d, 0)
-	hi, _ = bits.Add64(hi, 0, carry)
-	lo, carry = bits.Add64(lo, c, 0)
-	hi, _ = bits.Add64(hi, 0, carry)
-	return hi, lo
-}
-
-// madd3 returns a·b + c + d + e·2^64 as (hi, lo).
-func madd3(a, b, c, d, e uint64) (uint64, uint64) {
-	hi, lo := bits.Mul64(a, b)
-	c, carry := bits.Add64(c, d, 0)
-	hi, _ = bits.Add64(hi, 0, carry)
-	lo, carry = bits.Add64(lo, c, 0)
-	hi, _ = bits.Add64(hi, e, carry)
-	return hi, lo
 }
 
 // Halve sets z = x/2 and returns z. An odd residue is made even by adding
@@ -310,44 +262,21 @@ func (z *Element) Halve(x *Element) *Element {
 	return z
 }
 
-// Mul sets z = x·y (Montgomery product) and returns z, using one CIOS
-// pass: each outer round multiplies by one limb of x and folds in one
-// Montgomery reduction step, so the intermediate never exceeds five limbs.
-// The no-carry optimisation applies because q's top limb is < 2^62.
+// Mul sets z = x·y (Montgomery product) and returns z. On amd64 with
+// ADX/BMI2 this is a MULX/ADCX/ADOX interleaved CIOS assembly kernel
+// (fp_amd64.s); everywhere else (and under the purego build tag) it is
+// the portable CIOS pass in fp_generic.go. Both paths are branch-free
+// in the operand values.
 func (z *Element) Mul(x, y *Element) *Element {
-	var t [4]uint64
-	var c [3]uint64
-	{
-		v := x[0]
-		c[1], c[0] = bits.Mul64(v, y[0])
-		m := c[0] * qInvNeg
-		c[2] = madd0(m, q0, c[0])
-		c[1], c[0] = madd1(v, y[1], c[1])
-		c[2], t[0] = madd2(m, q1, c[2], c[0])
-		c[1], c[0] = madd1(v, y[2], c[1])
-		c[2], t[1] = madd2(m, q2, c[2], c[0])
-		c[1], c[0] = madd1(v, y[3], c[1])
-		t[3], t[2] = madd3(m, q3, c[0], c[2], c[1])
-	}
-	for i := 1; i < 4; i++ {
-		v := x[i]
-		c[1], c[0] = madd1(v, y[0], t[0])
-		m := c[0] * qInvNeg
-		c[2] = madd0(m, q0, c[0])
-		c[1], c[0] = madd2(v, y[1], c[1], t[1])
-		c[2], t[0] = madd2(m, q1, c[2], c[0])
-		c[1], c[0] = madd2(v, y[2], c[1], t[2])
-		c[2], t[1] = madd2(m, q2, c[2], c[0])
-		c[1], c[0] = madd2(v, y[3], c[1], t[3])
-		t[3], t[2] = madd3(m, q3, c[0], c[2], c[1])
-	}
-	*z = t
-	z.reduce()
+	mul(z, x, y)
 	return z
 }
 
 // Square sets z = x² and returns z.
-func (z *Element) Square(x *Element) *Element { return z.Mul(x, x) }
+func (z *Element) Square(x *Element) *Element {
+	square(z, x)
+	return z
+}
 
 // fromMont converts z out of Montgomery form in place (divides by R),
 // via four reduction rounds against a zero-extended operand.
@@ -379,24 +308,56 @@ func (z *Element) Exp(x *Element, e *big.Int) *Element {
 	return z
 }
 
+// expFixed sets z = x^e for a public 256-bit exponent held as plain
+// little-endian limbs, and returns z. It runs a fixed 4-bit-window
+// addition chain: 14 multiplications fill the odd powers of the window
+// table, then each exponent nibble costs four squarings plus (for
+// nonzero nibbles) one table multiplication. The schedule is a function
+// of e alone — both exponents used here are compile-time field
+// constants — so nothing about x leaks through timing, and the whole
+// chain lives on the stack (no math/big, 0 allocs/op).
+func (z *Element) expFixed(x *Element, e *[4]uint64) *Element {
+	var table [16]Element
+	table[0] = one
+	table[1] = *x
+	for i := 2; i < 16; i++ {
+		table[i].Mul(&table[i-1], x)
+	}
+	acc := table[(e[3]>>60)&0xf]
+	for i := 62; i >= 0; i-- {
+		acc.Square(&acc)
+		acc.Square(&acc)
+		acc.Square(&acc)
+		acc.Square(&acc)
+		nib := (e[i/16] >> (uint(i%16) * 4)) & 0xf
+		if nib != 0 {
+			acc.Mul(&acc, &table[nib])
+		}
+	}
+	*z = acc
+	return z
+}
+
 // Inverse sets z = x⁻¹ and reports whether the inverse exists. Zero has
-// no inverse: z is set to zero and ok is false. Uses Fermat
-// (x^(q-2)), so the cost is a fixed ~380 multiplications regardless of x.
+// no inverse: z is set to zero and ok is false. Uses Fermat (x^(q-2))
+// through the fixed expFixed chain, so the cost is a fixed ~310
+// multiplications regardless of x and nothing allocates.
 func (z *Element) Inverse(x *Element) (ok bool) {
 	if x.IsZero() {
 		z.SetZero()
 		return false
 	}
-	z.Exp(x, qMinus2)
+	z.expFixed(x, &qMinus2Limbs)
 	return true
 }
 
 // Sqrt sets z to a square root of x and reports whether one exists.
-// q ≡ 3 (mod 4), so the candidate is x^((q+1)/4); squaring it back
-// detects non-residues. On failure z is left untouched.
+// q ≡ 3 (mod 4), so the candidate is x^((q+1)/4) via the fixed expFixed
+// chain; squaring it back detects non-residues. On failure z is left
+// untouched.
 func (z *Element) Sqrt(x *Element) (ok bool) {
 	var cand, check Element
-	cand.Exp(x, qPlus1Over4)
+	cand.expFixed(x, &qPlus1Over4Limbs)
 	check.Square(&cand)
 	if !check.Equal(x) {
 		return false

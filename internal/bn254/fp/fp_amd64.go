@@ -1,0 +1,84 @@
+//go:build amd64 && !purego
+
+package fp
+
+// SupportAdx reports whether the MULX/ADCX/ADOX kernels are selected at
+// runtime. Probed once at startup via CPUID (leaf 7 EBX: BMI2 bit 8,
+// ADX bit 19); the branch in mul/square below is on this input-
+// independent flag, so dispatch leaks nothing about operand values.
+var SupportAdx = cpuHasAdx()
+
+// KernelPath names the active Mul/Square implementation for benchmark
+// reports.
+func KernelPath() string {
+	if SupportAdx {
+		return "adx"
+	}
+	return "generic"
+}
+
+// cpuHasAdx reports whether the CPU implements both ADX and BMI2.
+func cpuHasAdx() bool
+
+//go:noescape
+func fpMul(z, x, y *Element)
+
+//go:noescape
+func fpAdd(z, x, y *Element)
+
+//go:noescape
+func fpSub(z, x, y *Element)
+
+//go:noescape
+func fpNeg(z, x *Element)
+
+//go:noescape
+func fpDouble(z, x *Element)
+
+//go:noescape
+func fpMulWide(w *Wide, x, y *Element)
+
+//go:noescape
+func fpReduceWide(z *Element, w *Wide)
+
+func mul(z, x, y *Element) {
+	if SupportAdx {
+		fpMul(z, x, y)
+		return
+	}
+	mulGeneric(z, x, y)
+}
+
+func square(z, x *Element) {
+	// A dedicated 4-limb squaring saves too little over the CIOS
+	// multiply to justify a second carry chain (gnark-crypto reached
+	// the same conclusion for 4-limb fields).
+	if SupportAdx {
+		fpMul(z, x, x)
+		return
+	}
+	mulGeneric(z, x, x)
+}
+
+// Add/Sub/Neg/Double use only ADD/ADC/SBB/CMOV, available on every
+// amd64, so they never fall back.
+func add(z, x, y *Element) { fpAdd(z, x, y) }
+func sub(z, x, y *Element) { fpSub(z, x, y) }
+func neg(z, x *Element)    { fpNeg(z, x) }
+func double(z, x *Element) { fpDouble(z, x) }
+
+func mulWide(w *Wide, x, y *Element) {
+	if SupportAdx {
+		fpMulWide(w, x, y)
+		return
+	}
+	mulWideGeneric(w, x, y)
+}
+
+func reduceWide(z *Element, w *Wide) {
+	if SupportAdx {
+		fpReduceWide(z, w)
+		return
+	}
+	reduceWideGeneric(z, w)
+}

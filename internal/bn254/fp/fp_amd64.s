@@ -1,0 +1,604 @@
+//go:build amd64 && !purego
+
+// BN254 Fp kernels for amd64. fpMul is a MULX/ADCX/ADOX interleaved
+// CIOS Montgomery product (dual carry chains, one reduction step folded
+// into each of the four multiply rounds; the no-carry optimisation
+// applies because q's top limb is < 2^62). fpMulWide/fpReduceWide split
+// the same arithmetic into its two halves for the lazy-reduction tower
+// paths. fpAdd/fpSub/fpNeg/fpDouble are branch-free ADD/ADC + CMOV/mask
+// sequences that run on every amd64; the MULX kernels are gated on the
+// runtime ADX+BMI2 probe (cpuHasAdx) from fp_amd64.go.
+
+#include "textflag.h"
+
+DATA q<>+0(SB)/8, $0x3c208c16d87cfd47
+DATA q<>+8(SB)/8, $0x97816a916871ca8d
+DATA q<>+16(SB)/8, $0xb85045b68181585d
+DATA q<>+24(SB)/8, $0x30644e72e131a029
+GLOBL q<>(SB), RODATA, $32
+
+DATA qInvNeg<>+0(SB)/8, $0x87d20782e4866389
+GLOBL qInvNeg<>(SB), RODATA, $8
+
+// func cpuHasAdx() bool
+// CPUID leaf 7 sub-leaf 0, EBX bit 8 (BMI2) and bit 19 (ADX); leaf 7
+// must first be reported supported by leaf 0.
+TEXT ·cpuHasAdx(SB), NOSPLIT, $0-1
+	MOVL $0, AX
+	CPUID
+	CMPL AX, $7
+	JLT  adx_no
+	MOVL $7, AX
+	MOVL $0, CX
+	CPUID
+	MOVL BX, AX
+	SHRL $8, AX
+	ANDL $1, AX
+	SHRL $19, BX
+	ANDL $1, BX
+	ANDL BX, AX
+	MOVB AX, ret+0(FP)
+	RET
+
+adx_no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func fpMul(z, x, y *Element)
+// Register plan: x limbs DI,R8,R9,R10 (loaded once); y scanned limb by
+// limb through DX (MULX's implicit operand); running window t in
+// R11..R14 with top limb CX; AX/BX scratch. Each round multiplies by
+// one y limb (ADOX chain carries the lows, ADCX chain the highs) and
+// then folds one Montgomery step m = t0·(-1/q) mod 2^64, t = (t+m·q)/2^64.
+TEXT ·fpMul(SB), NOSPLIT, $0-24
+	MOVQ x+8(FP), AX
+	MOVQ y+16(FP), SI
+	MOVQ 0(AX), DI
+	MOVQ 8(AX), R8
+	MOVQ 16(AX), R9
+	MOVQ 24(AX), R10
+
+	// round 0 multiply: t = x · y[0]
+	XORQ  AX, AX
+	MOVQ  0(SI), DX
+	MULXQ DI, R11, R12
+	MULXQ R8, AX, R13
+	ADOXQ AX, R12
+	MULXQ R9, AX, R14
+	ADOXQ AX, R13
+	MULXQ R10, AX, CX
+	ADOXQ AX, R14
+	MOVQ  $0, AX
+	ADOXQ AX, CX
+
+	// round 0 reduce
+	MOVQ  qInvNeg<>(SB), DX
+	IMULQ R11, DX
+	XORQ  AX, AX
+	MULXQ q<>+0(SB), AX, BX
+	ADCXQ R11, AX
+	MOVQ  BX, R11
+	ADCXQ R12, R11
+	MULXQ q<>+8(SB), AX, R12
+	ADOXQ AX, R11
+	ADCXQ R13, R12
+	MULXQ q<>+16(SB), AX, R13
+	ADOXQ AX, R12
+	ADCXQ R14, R13
+	MULXQ q<>+24(SB), AX, R14
+	ADOXQ AX, R13
+	MOVQ  $0, AX
+	ADCXQ CX, R14
+	ADOXQ AX, R14
+
+	// round 1 multiply: t += x · y[1]
+	XORQ  AX, AX
+	MOVQ  8(SI), DX
+	MULXQ DI, AX, CX
+	ADOXQ AX, R11
+	ADCXQ CX, R12
+	MULXQ R8, AX, CX
+	ADOXQ AX, R12
+	ADCXQ CX, R13
+	MULXQ R9, AX, CX
+	ADOXQ AX, R13
+	ADCXQ CX, R14
+	MULXQ R10, AX, CX
+	ADOXQ AX, R14
+	MOVQ  $0, AX
+	ADCXQ AX, CX
+	ADOXQ AX, CX
+
+	// round 1 reduce
+	MOVQ  qInvNeg<>(SB), DX
+	IMULQ R11, DX
+	XORQ  AX, AX
+	MULXQ q<>+0(SB), AX, BX
+	ADCXQ R11, AX
+	MOVQ  BX, R11
+	ADCXQ R12, R11
+	MULXQ q<>+8(SB), AX, R12
+	ADOXQ AX, R11
+	ADCXQ R13, R12
+	MULXQ q<>+16(SB), AX, R13
+	ADOXQ AX, R12
+	ADCXQ R14, R13
+	MULXQ q<>+24(SB), AX, R14
+	ADOXQ AX, R13
+	MOVQ  $0, AX
+	ADCXQ CX, R14
+	ADOXQ AX, R14
+
+	// round 2 multiply: t += x · y[2]
+	XORQ  AX, AX
+	MOVQ  16(SI), DX
+	MULXQ DI, AX, CX
+	ADOXQ AX, R11
+	ADCXQ CX, R12
+	MULXQ R8, AX, CX
+	ADOXQ AX, R12
+	ADCXQ CX, R13
+	MULXQ R9, AX, CX
+	ADOXQ AX, R13
+	ADCXQ CX, R14
+	MULXQ R10, AX, CX
+	ADOXQ AX, R14
+	MOVQ  $0, AX
+	ADCXQ AX, CX
+	ADOXQ AX, CX
+
+	// round 2 reduce
+	MOVQ  qInvNeg<>(SB), DX
+	IMULQ R11, DX
+	XORQ  AX, AX
+	MULXQ q<>+0(SB), AX, BX
+	ADCXQ R11, AX
+	MOVQ  BX, R11
+	ADCXQ R12, R11
+	MULXQ q<>+8(SB), AX, R12
+	ADOXQ AX, R11
+	ADCXQ R13, R12
+	MULXQ q<>+16(SB), AX, R13
+	ADOXQ AX, R12
+	ADCXQ R14, R13
+	MULXQ q<>+24(SB), AX, R14
+	ADOXQ AX, R13
+	MOVQ  $0, AX
+	ADCXQ CX, R14
+	ADOXQ AX, R14
+
+	// round 3 multiply: t += x · y[3]
+	XORQ  AX, AX
+	MOVQ  24(SI), DX
+	MULXQ DI, AX, CX
+	ADOXQ AX, R11
+	ADCXQ CX, R12
+	MULXQ R8, AX, CX
+	ADOXQ AX, R12
+	ADCXQ CX, R13
+	MULXQ R9, AX, CX
+	ADOXQ AX, R13
+	ADCXQ CX, R14
+	MULXQ R10, AX, CX
+	ADOXQ AX, R14
+	MOVQ  $0, AX
+	ADCXQ AX, CX
+	ADOXQ AX, CX
+
+	// round 3 reduce
+	MOVQ  qInvNeg<>(SB), DX
+	IMULQ R11, DX
+	XORQ  AX, AX
+	MULXQ q<>+0(SB), AX, BX
+	ADCXQ R11, AX
+	MOVQ  BX, R11
+	ADCXQ R12, R11
+	MULXQ q<>+8(SB), AX, R12
+	ADOXQ AX, R11
+	ADCXQ R13, R12
+	MULXQ q<>+16(SB), AX, R13
+	ADOXQ AX, R12
+	ADCXQ R14, R13
+	MULXQ q<>+24(SB), AX, R14
+	ADOXQ AX, R13
+	MOVQ  $0, AX
+	ADCXQ CX, R14
+	ADOXQ AX, R14
+
+	// conditional subtract: z = t - q if t >= q
+	MOVQ    R11, DI
+	MOVQ    R12, R8
+	MOVQ    R13, R9
+	MOVQ    R14, R10
+	SUBQ    q<>+0(SB), R11
+	SBBQ    q<>+8(SB), R12
+	SBBQ    q<>+16(SB), R13
+	SBBQ    q<>+24(SB), R14
+	CMOVQCS DI, R11
+	CMOVQCS R8, R12
+	CMOVQCS R9, R13
+	CMOVQCS R10, R14
+	MOVQ    z+0(FP), AX
+	MOVQ    R11, 0(AX)
+	MOVQ    R12, 8(AX)
+	MOVQ    R13, 16(AX)
+	MOVQ    R14, 24(AX)
+	RET
+
+// func fpMulWide(w *Wide, x, y *Element)
+// The multiply half of fpMul with the reduction left out: four rounds
+// build the full 512-bit product, storing the finished low limb of the
+// window after each round and rotating the window down.
+TEXT ·fpMulWide(SB), NOSPLIT, $0-24
+	MOVQ x+8(FP), AX
+	MOVQ y+16(FP), SI
+	MOVQ w+0(FP), BX
+	MOVQ 0(AX), DI
+	MOVQ 8(AX), R8
+	MOVQ 16(AX), R9
+	MOVQ 24(AX), R10
+
+	// row 0: window = x · y[0]
+	XORQ  CX, CX
+	MOVQ  0(SI), DX
+	MULXQ DI, R11, R12
+	MULXQ R8, AX, R13
+	ADOXQ AX, R12
+	MULXQ R9, AX, R14
+	ADOXQ AX, R13
+	MULXQ R10, AX, CX
+	ADOXQ AX, R14
+	MOVQ  $0, AX
+	ADOXQ AX, CX
+	MOVQ  R11, 0(BX)
+	MOVQ  R12, R11
+	MOVQ  R13, R12
+	MOVQ  R14, R13
+	MOVQ  CX, R14
+
+	// row 1: window += x · y[1]
+	XORQ  AX, AX
+	MOVQ  8(SI), DX
+	MULXQ DI, AX, CX
+	ADOXQ AX, R11
+	ADCXQ CX, R12
+	MULXQ R8, AX, CX
+	ADOXQ AX, R12
+	ADCXQ CX, R13
+	MULXQ R9, AX, CX
+	ADOXQ AX, R13
+	ADCXQ CX, R14
+	MULXQ R10, AX, CX
+	ADOXQ AX, R14
+	MOVQ  $0, AX
+	ADCXQ AX, CX
+	ADOXQ AX, CX
+	MOVQ  R11, 8(BX)
+	MOVQ  R12, R11
+	MOVQ  R13, R12
+	MOVQ  R14, R13
+	MOVQ  CX, R14
+
+	// row 2: window += x · y[2]
+	XORQ  AX, AX
+	MOVQ  16(SI), DX
+	MULXQ DI, AX, CX
+	ADOXQ AX, R11
+	ADCXQ CX, R12
+	MULXQ R8, AX, CX
+	ADOXQ AX, R12
+	ADCXQ CX, R13
+	MULXQ R9, AX, CX
+	ADOXQ AX, R13
+	ADCXQ CX, R14
+	MULXQ R10, AX, CX
+	ADOXQ AX, R14
+	MOVQ  $0, AX
+	ADCXQ AX, CX
+	ADOXQ AX, CX
+	MOVQ  R11, 16(BX)
+	MOVQ  R12, R11
+	MOVQ  R13, R12
+	MOVQ  R14, R13
+	MOVQ  CX, R14
+
+	// row 3: window += x · y[3]
+	XORQ  AX, AX
+	MOVQ  24(SI), DX
+	MULXQ DI, AX, CX
+	ADOXQ AX, R11
+	ADCXQ CX, R12
+	MULXQ R8, AX, CX
+	ADOXQ AX, R12
+	ADCXQ CX, R13
+	MULXQ R9, AX, CX
+	ADOXQ AX, R13
+	ADCXQ CX, R14
+	MULXQ R10, AX, CX
+	ADOXQ AX, R14
+	MOVQ  $0, AX
+	ADCXQ AX, CX
+	ADOXQ AX, CX
+	MOVQ  R11, 24(BX)
+	MOVQ  R12, 32(BX)
+	MOVQ  R13, 40(BX)
+	MOVQ  R14, 48(BX)
+	MOVQ  CX, 56(BX)
+	RET
+
+// func fpReduceWide(z *Element, w *Wide)
+// Full-width REDC under the w < 4qR contract: each round adds m·q to
+// zero the lowest live limb (the low product limb is -t0 by
+// construction, so NEG recovers its carry without computing it) and
+// ripples the carry to the top; the running value stays below
+// 4qR + qR < 2^512. The < 5q result is canonicalised by four masked
+// conditional-subtract passes.
+TEXT ·fpReduceWide(SB), NOSPLIT, $0-16
+	MOVQ w+8(FP), AX
+	MOVQ 0(AX), DI
+	MOVQ 8(AX), R8
+	MOVQ 16(AX), R9
+	MOVQ 24(AX), R10
+	MOVQ 32(AX), R11
+	MOVQ 40(AX), R12
+	MOVQ 48(AX), R13
+	MOVQ 56(AX), R14
+
+	// round 0: t += m·q, m = t0·qInvNeg; kills DI
+	MOVQ  qInvNeg<>(SB), DX
+	IMULQ DI, DX
+	MULXQ q<>+0(SB), AX, BX
+	MULXQ q<>+8(SB), AX, CX
+	ADDQ  AX, BX
+	MULXQ q<>+16(SB), AX, SI
+	ADCQ  AX, CX
+	MULXQ q<>+24(SB), AX, DX
+	ADCQ  AX, SI
+	ADCQ  $0, DX
+	NEGQ  DI
+	ADCQ  BX, R8
+	ADCQ  CX, R9
+	ADCQ  SI, R10
+	ADCQ  DX, R11
+	ADCQ  $0, R12
+	ADCQ  $0, R13
+	ADCQ  $0, R14
+
+	// round 1: kills R8
+	MOVQ  qInvNeg<>(SB), DX
+	IMULQ R8, DX
+	MULXQ q<>+0(SB), AX, BX
+	MULXQ q<>+8(SB), AX, CX
+	ADDQ  AX, BX
+	MULXQ q<>+16(SB), AX, SI
+	ADCQ  AX, CX
+	MULXQ q<>+24(SB), AX, DX
+	ADCQ  AX, SI
+	ADCQ  $0, DX
+	NEGQ  R8
+	ADCQ  BX, R9
+	ADCQ  CX, R10
+	ADCQ  SI, R11
+	ADCQ  DX, R12
+	ADCQ  $0, R13
+	ADCQ  $0, R14
+
+	// round 2: kills R9
+	MOVQ  qInvNeg<>(SB), DX
+	IMULQ R9, DX
+	MULXQ q<>+0(SB), AX, BX
+	MULXQ q<>+8(SB), AX, CX
+	ADDQ  AX, BX
+	MULXQ q<>+16(SB), AX, SI
+	ADCQ  AX, CX
+	MULXQ q<>+24(SB), AX, DX
+	ADCQ  AX, SI
+	ADCQ  $0, DX
+	NEGQ  R9
+	ADCQ  BX, R10
+	ADCQ  CX, R11
+	ADCQ  SI, R12
+	ADCQ  DX, R13
+	ADCQ  $0, R14
+
+	// round 3: kills R10
+	MOVQ  qInvNeg<>(SB), DX
+	IMULQ R10, DX
+	MULXQ q<>+0(SB), AX, BX
+	MULXQ q<>+8(SB), AX, CX
+	ADDQ  AX, BX
+	MULXQ q<>+16(SB), AX, SI
+	ADCQ  AX, CX
+	MULXQ q<>+24(SB), AX, DX
+	ADCQ  AX, SI
+	ADCQ  $0, DX
+	NEGQ  R10
+	ADCQ  BX, R11
+	ADCQ  CX, R12
+	ADCQ  SI, R13
+	ADCQ  DX, R14
+
+	// four masked conditional subtracts: u < 5q -> [0, q)
+	MOVQ    R11, AX
+	MOVQ    R12, BX
+	MOVQ    R13, CX
+	MOVQ    R14, SI
+	SUBQ    q<>+0(SB), R11
+	SBBQ    q<>+8(SB), R12
+	SBBQ    q<>+16(SB), R13
+	SBBQ    q<>+24(SB), R14
+	CMOVQCS AX, R11
+	CMOVQCS BX, R12
+	CMOVQCS CX, R13
+	CMOVQCS SI, R14
+
+	MOVQ    R11, AX
+	MOVQ    R12, BX
+	MOVQ    R13, CX
+	MOVQ    R14, SI
+	SUBQ    q<>+0(SB), R11
+	SBBQ    q<>+8(SB), R12
+	SBBQ    q<>+16(SB), R13
+	SBBQ    q<>+24(SB), R14
+	CMOVQCS AX, R11
+	CMOVQCS BX, R12
+	CMOVQCS CX, R13
+	CMOVQCS SI, R14
+
+	MOVQ    R11, AX
+	MOVQ    R12, BX
+	MOVQ    R13, CX
+	MOVQ    R14, SI
+	SUBQ    q<>+0(SB), R11
+	SBBQ    q<>+8(SB), R12
+	SBBQ    q<>+16(SB), R13
+	SBBQ    q<>+24(SB), R14
+	CMOVQCS AX, R11
+	CMOVQCS BX, R12
+	CMOVQCS CX, R13
+	CMOVQCS SI, R14
+
+	MOVQ    R11, AX
+	MOVQ    R12, BX
+	MOVQ    R13, CX
+	MOVQ    R14, SI
+	SUBQ    q<>+0(SB), R11
+	SBBQ    q<>+8(SB), R12
+	SBBQ    q<>+16(SB), R13
+	SBBQ    q<>+24(SB), R14
+	CMOVQCS AX, R11
+	CMOVQCS BX, R12
+	CMOVQCS CX, R13
+	CMOVQCS SI, R14
+
+	MOVQ z+0(FP), AX
+	MOVQ R11, 0(AX)
+	MOVQ R12, 8(AX)
+	MOVQ R13, 16(AX)
+	MOVQ R14, 24(AX)
+	RET
+
+// func fpAdd(z, x, y *Element)
+TEXT ·fpAdd(SB), NOSPLIT, $0-24
+	MOVQ    x+8(FP), AX
+	MOVQ    y+16(FP), BX
+	MOVQ    0(AX), CX
+	MOVQ    8(AX), DI
+	MOVQ    16(AX), SI
+	MOVQ    24(AX), R8
+	ADDQ    0(BX), CX
+	ADCQ    8(BX), DI
+	ADCQ    16(BX), SI
+	ADCQ    24(BX), R8
+	MOVQ    CX, R9
+	MOVQ    DI, R10
+	MOVQ    SI, R11
+	MOVQ    R8, R12
+	SUBQ    q<>+0(SB), R9
+	SBBQ    q<>+8(SB), R10
+	SBBQ    q<>+16(SB), R11
+	SBBQ    q<>+24(SB), R12
+	CMOVQCC R9, CX
+	CMOVQCC R10, DI
+	CMOVQCC R11, SI
+	CMOVQCC R12, R8
+	MOVQ    z+0(FP), AX
+	MOVQ    CX, 0(AX)
+	MOVQ    DI, 8(AX)
+	MOVQ    SI, 16(AX)
+	MOVQ    R8, 24(AX)
+	RET
+
+// func fpDouble(z, x *Element)
+TEXT ·fpDouble(SB), NOSPLIT, $0-16
+	MOVQ    x+8(FP), AX
+	MOVQ    0(AX), CX
+	MOVQ    8(AX), DI
+	MOVQ    16(AX), SI
+	MOVQ    24(AX), R8
+	ADDQ    CX, CX
+	ADCQ    DI, DI
+	ADCQ    SI, SI
+	ADCQ    R8, R8
+	MOVQ    CX, R9
+	MOVQ    DI, R10
+	MOVQ    SI, R11
+	MOVQ    R8, R12
+	SUBQ    q<>+0(SB), R9
+	SBBQ    q<>+8(SB), R10
+	SBBQ    q<>+16(SB), R11
+	SBBQ    q<>+24(SB), R12
+	CMOVQCC R9, CX
+	CMOVQCC R10, DI
+	CMOVQCC R11, SI
+	CMOVQCC R12, R8
+	MOVQ    z+0(FP), AX
+	MOVQ    CX, 0(AX)
+	MOVQ    DI, 8(AX)
+	MOVQ    SI, 16(AX)
+	MOVQ    R8, 24(AX)
+	RET
+
+// func fpSub(z, x, y *Element)
+TEXT ·fpSub(SB), NOSPLIT, $0-24
+	MOVQ x+8(FP), AX
+	MOVQ y+16(FP), BX
+	MOVQ 0(AX), CX
+	MOVQ 8(AX), DI
+	MOVQ 16(AX), SI
+	MOVQ 24(AX), R8
+	SUBQ 0(BX), CX
+	SBBQ 8(BX), DI
+	SBBQ 16(BX), SI
+	SBBQ 24(BX), R8
+	SBBQ AX, AX
+	MOVQ q<>+0(SB), R9
+	MOVQ q<>+8(SB), R10
+	MOVQ q<>+16(SB), R11
+	MOVQ q<>+24(SB), R12
+	ANDQ AX, R9
+	ANDQ AX, R10
+	ANDQ AX, R11
+	ANDQ AX, R12
+	ADDQ R9, CX
+	ADCQ R10, DI
+	ADCQ R11, SI
+	ADCQ R12, R8
+	MOVQ z+0(FP), AX
+	MOVQ CX, 0(AX)
+	MOVQ DI, 8(AX)
+	MOVQ SI, 16(AX)
+	MOVQ R8, 24(AX)
+	RET
+
+// func fpNeg(z, x *Element)
+TEXT ·fpNeg(SB), NOSPLIT, $0-16
+	MOVQ x+8(FP), AX
+	MOVQ 0(AX), CX
+	MOVQ 8(AX), DI
+	MOVQ 16(AX), SI
+	MOVQ 24(AX), R8
+	MOVQ CX, R9
+	ORQ  DI, R9
+	ORQ  SI, R9
+	ORQ  R8, R9
+	NEGQ R9
+	SBBQ R9, R9
+	MOVQ q<>+0(SB), R10
+	MOVQ q<>+8(SB), R11
+	MOVQ q<>+16(SB), R12
+	MOVQ q<>+24(SB), R13
+	SUBQ CX, R10
+	SBBQ DI, R11
+	SBBQ SI, R12
+	SBBQ R8, R13
+	ANDQ R9, R10
+	ANDQ R9, R11
+	ANDQ R9, R12
+	ANDQ R9, R13
+	MOVQ z+0(FP), AX
+	MOVQ R10, 0(AX)
+	MOVQ R11, 8(AX)
+	MOVQ R12, 16(AX)
+	MOVQ R13, 24(AX)
+	RET

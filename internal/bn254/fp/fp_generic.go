@@ -1,0 +1,143 @@
+package fp
+
+import "math/bits"
+
+// This file holds the portable CIOS implementation of the hot field
+// operations. On amd64 it survives as the differential oracle for the
+// assembly kernels (FuzzFpMulAsmVsGeneric, TestFpAsmEdgeVectors) and as
+// the runtime fallback when the CPU lacks ADX/BMI2; under the purego
+// build tag (or any other GOARCH) it IS the implementation. The bodies
+// are the original PR1 code, kept verbatim so the oracle cannot drift.
+
+// madd0 returns the high word of a·b + c.
+func madd0(a, b, c uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, carry := bits.Add64(lo, c, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	return hi
+}
+
+// madd1 returns a·b + t as (hi, lo).
+func madd1(a, b, t uint64) (uint64, uint64) {
+	hi, lo := bits.Mul64(a, b)
+	lo, carry := bits.Add64(lo, t, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	return hi, lo
+}
+
+// madd2 returns a·b + c + d as (hi, lo).
+func madd2(a, b, c, d uint64) (uint64, uint64) {
+	hi, lo := bits.Mul64(a, b)
+	c, carry := bits.Add64(c, d, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	lo, carry = bits.Add64(lo, c, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	return hi, lo
+}
+
+// madd3 returns a·b + c + d + e·2^64 as (hi, lo).
+func madd3(a, b, c, d, e uint64) (uint64, uint64) {
+	hi, lo := bits.Mul64(a, b)
+	c, carry := bits.Add64(c, d, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	lo, carry = bits.Add64(lo, c, 0)
+	hi, _ = bits.Add64(hi, e, carry)
+	return hi, lo
+}
+
+// reduceGeneric conditionally subtracts q so z lands in [0, q), without
+// branching on the value.
+func reduceGeneric(z *Element) {
+	var b uint64
+	t0, b := bits.Sub64(z[0], q0, 0)
+	t1, b := bits.Sub64(z[1], q1, b)
+	t2, b := bits.Sub64(z[2], q2, b)
+	t3, b := bits.Sub64(z[3], q3, b)
+	mask := b - 1 // all-ones iff the subtraction did not borrow (z ≥ q)
+	z[0] = (t0 & mask) | (z[0] &^ mask)
+	z[1] = (t1 & mask) | (z[1] &^ mask)
+	z[2] = (t2 & mask) | (z[2] &^ mask)
+	z[3] = (t3 & mask) | (z[3] &^ mask)
+}
+
+// addGeneric sets z = x + y mod q.
+func addGeneric(z, x, y *Element) {
+	var c uint64
+	z[0], c = bits.Add64(x[0], y[0], 0)
+	z[1], c = bits.Add64(x[1], y[1], c)
+	z[2], c = bits.Add64(x[2], y[2], c)
+	z[3], _ = bits.Add64(x[3], y[3], c) // x+y < 2q < 2^255: no carry out
+	reduceGeneric(z)
+}
+
+// doubleGeneric sets z = 2x mod q.
+func doubleGeneric(z, x *Element) { addGeneric(z, x, x) }
+
+// subGeneric sets z = x - y mod q.
+func subGeneric(z, x, y *Element) {
+	var b uint64
+	z[0], b = bits.Sub64(x[0], y[0], 0)
+	z[1], b = bits.Sub64(x[1], y[1], b)
+	z[2], b = bits.Sub64(x[2], y[2], b)
+	z[3], b = bits.Sub64(x[3], y[3], b)
+	mask := uint64(0) - b // all-ones iff we borrowed: add q back
+	var c uint64
+	z[0], c = bits.Add64(z[0], q0&mask, 0)
+	z[1], c = bits.Add64(z[1], q1&mask, c)
+	z[2], c = bits.Add64(z[2], q2&mask, c)
+	z[3], _ = bits.Add64(z[3], q3&mask, c)
+}
+
+// negGeneric sets z = -x mod q.
+func negGeneric(z, x *Element) {
+	nz := x[0] | x[1] | x[2] | x[3]
+	mask := uint64(0) - ((nz | (uint64(0) - nz)) >> 63) // all-ones iff x ≠ 0
+	var b uint64
+	t0, b := bits.Sub64(q0, x[0], 0)
+	t1, b := bits.Sub64(q1, x[1], b)
+	t2, b := bits.Sub64(q2, x[2], b)
+	t3, _ := bits.Sub64(q3, x[3], b)
+	z[0] = t0 & mask
+	z[1] = t1 & mask
+	z[2] = t2 & mask
+	z[3] = t3 & mask
+}
+
+// mulGeneric sets z = x·y (Montgomery product) using one CIOS pass: each
+// outer round multiplies by one limb of x and folds in one Montgomery
+// reduction step, so the intermediate never exceeds five limbs. The
+// no-carry optimisation applies because q's top limb is < 2^62.
+func mulGeneric(z, x, y *Element) {
+	var t [4]uint64
+	var c [3]uint64
+	{
+		v := x[0]
+		c[1], c[0] = bits.Mul64(v, y[0])
+		m := c[0] * qInvNeg
+		c[2] = madd0(m, q0, c[0])
+		c[1], c[0] = madd1(v, y[1], c[1])
+		c[2], t[0] = madd2(m, q1, c[2], c[0])
+		c[1], c[0] = madd1(v, y[2], c[1])
+		c[2], t[1] = madd2(m, q2, c[2], c[0])
+		c[1], c[0] = madd1(v, y[3], c[1])
+		t[3], t[2] = madd3(m, q3, c[0], c[2], c[1])
+	}
+	for i := 1; i < 4; i++ {
+		v := x[i]
+		c[1], c[0] = madd1(v, y[0], t[0])
+		m := c[0] * qInvNeg
+		c[2] = madd0(m, q0, c[0])
+		c[1], c[0] = madd2(v, y[1], c[1], t[1])
+		c[2], t[0] = madd2(m, q1, c[2], c[0])
+		c[1], c[0] = madd2(v, y[2], c[1], t[2])
+		c[2], t[1] = madd2(m, q2, c[2], c[0])
+		c[1], c[0] = madd2(v, y[3], c[1], t[3])
+		t[3], t[2] = madd3(m, q3, c[0], c[2], c[1])
+	}
+	*z = t
+	reduceGeneric(z)
+}
+
+// squareGeneric sets z = x². A dedicated 4-limb squaring saves too little
+// over CIOS multiplication to justify a second carry-chain to audit.
+func squareGeneric(z, x *Element) { mulGeneric(z, x, x) }

@@ -1,0 +1,21 @@
+//go:build !amd64 || purego
+
+package fp
+
+// SupportAdx reports whether the ADX/BMI2 assembly kernels are compiled
+// in and selected at runtime. In this build configuration there is no
+// assembly, so it is constant false.
+const SupportAdx = false
+
+// KernelPath names the active Mul/Square implementation for benchmark
+// reports.
+func KernelPath() string { return "generic" }
+
+func mul(z, x, y *Element)           { mulGeneric(z, x, y) }
+func square(z, x *Element)           { squareGeneric(z, x) }
+func add(z, x, y *Element)           { addGeneric(z, x, y) }
+func sub(z, x, y *Element)           { subGeneric(z, x, y) }
+func neg(z, x *Element)              { negGeneric(z, x) }
+func double(z, x *Element)           { doubleGeneric(z, x) }
+func mulWide(w *Wide, x, y *Element) { mulWideGeneric(w, x, y) }
+func reduceWide(z *Element, w *Wide) { reduceWideGeneric(z, w) }

@@ -1,0 +1,17 @@
+package fp
+
+// Exported pass-throughs to the portable kernels. The arithmetic entry
+// points (Mul, Add, ...) dispatch to platform assembly when available;
+// these always run the generic code, so callers outside the package —
+// the mcclsbench fp_kernel report and differential harnesses — can put
+// both implementations side by side on the same machine.
+
+// GenericMul runs the portable CIOS Montgomery multiplication
+// regardless of build configuration.
+func GenericMul(z, x, y *Element) { mulGeneric(z, x, y) }
+
+// GenericSquare runs the portable squaring (CIOS with x = y).
+func GenericSquare(z, x *Element) { squareGeneric(z, x) }
+
+// GenericAdd runs the portable modular addition.
+func GenericAdd(z, x, y *Element) { addGeneric(z, x, y) }

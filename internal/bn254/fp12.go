@@ -56,13 +56,21 @@ func (z *Fp12) Equal(x *Fp12) bool {
 	return true
 }
 
-// Mul sets z = x·y by schoolbook convolution with reduction w^6 = xi.
-// Zero coefficients are skipped, so multiplying by sparse operands (the
-// Miller-loop line values have only three nonzero coefficients) costs
-// proportionally less.
+// Mul sets z = x·y by schoolbook convolution with reduction w^6 = xi,
+// accumulating each of the 11 convolution slots in an unreduced fp2Wide:
+// a dense product pays 22 Montgomery reductions (two per live slot)
+// instead of one per coefficient product. Zero coefficients are skipped,
+// so multiplying by sparse operands costs proportionally less, and
+// untouched slots skip their reductions entirely.
+//
+// Budget: a slot receives at most six products, each contributing
+// ≤ 2q² per coefficient (see fp2Wide.mulAcc), so the accumulators stay
+// ≤ 12q² + one transient pad — inside the ~15q² Wide contract. The xi
+// fold for slots 6..10 happens after reduction (xi on a wide value
+// would multiply the budget by 10).
 func (z *Fp12) Mul(x, y *Fp12) *Fp12 {
-	var acc [11]Fp2
-	var t Fp2
+	var acc [11]fp2Wide
+	var touched [11]bool
 	for a := 0; a < 6; a++ {
 		if x.C[a].IsZero() {
 			continue
@@ -71,49 +79,67 @@ func (z *Fp12) Mul(x, y *Fp12) *Fp12 {
 			if y.C[b].IsZero() {
 				continue
 			}
-			t.Mul(&x.C[a], &y.C[b])
-			acc[a+b].Add(&acc[a+b], &t)
+			acc[a+b].mulAcc(&x.C[a], &y.C[b])
+			touched[a+b] = true
 		}
 	}
 	var res Fp12
+	var t Fp2
 	for k := 0; k < 6; k++ {
-		res.C[k] = acc[k]
+		if touched[k] {
+			acc[k].reduce(&res.C[k])
+		}
 	}
 	for k := 6; k < 11; k++ {
+		if !touched[k] {
+			continue
+		}
 		// w^k = w^(k-6)·xi
-		t.MulByXi(&acc[k])
+		acc[k].reduce(&t)
+		t.MulByXi(&t)
 		res.C[k-6].Add(&res.C[k-6], &t)
 	}
 	return z.Set(&res)
 }
 
-// Square sets z = x² by symmetric convolution: cross terms a≠b appear twice,
-// so the 36 coefficient products of the generic Mul collapse to 6 squarings
-// plus 15 multiplications.
+// Square sets z = x² by symmetric convolution: cross terms a≠b appear
+// twice, so the 36 coefficient products of the generic Mul collapse to
+// 6 squarings plus 15 multiplications. Like Mul, slots accumulate
+// unreduced; the doubling of a cross term is applied to one (reduced)
+// operand before the wide product so the slot budget stays at
+// ≤ 3 contributions × 2q² per coefficient.
 func (z *Fp12) Square(x *Fp12) *Fp12 {
-	var acc [11]Fp2
-	var t Fp2
+	var acc [11]fp2Wide
+	var touched [11]bool
+	var d Fp2
 	for a := 0; a < 6; a++ {
 		if x.C[a].IsZero() {
 			continue
 		}
-		t.Square(&x.C[a])
-		acc[2*a].Add(&acc[2*a], &t)
+		acc[2*a].mulAcc(&x.C[a], &x.C[a])
+		touched[2*a] = true
 		for b := a + 1; b < 6; b++ {
 			if x.C[b].IsZero() {
 				continue
 			}
-			t.Mul(&x.C[a], &x.C[b])
-			t.Double(&t)
-			acc[a+b].Add(&acc[a+b], &t)
+			d.Double(&x.C[b])
+			acc[a+b].mulAcc(&x.C[a], &d)
+			touched[a+b] = true
 		}
 	}
 	var res Fp12
+	var t Fp2
 	for k := 0; k < 6; k++ {
-		res.C[k] = acc[k]
+		if touched[k] {
+			acc[k].reduce(&res.C[k])
+		}
 	}
 	for k := 6; k < 11; k++ {
-		t.MulByXi(&acc[k])
+		if !touched[k] {
+			continue
+		}
+		acc[k].reduce(&t)
+		t.MulByXi(&t)
 		res.C[k-6].Add(&res.C[k-6], &t)
 	}
 	return z.Set(&res)

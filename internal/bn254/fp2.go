@@ -93,6 +93,50 @@ func (z *Fp2) Mul(x, y *Fp2) *Fp2 {
 	return z
 }
 
+// fp2Wide is an unreduced Fp2 accumulator for lazy-reduction paths:
+// one 512-bit Wide per coefficient. Call sites accumulate several Fp2
+// products with mulAcc and pay the two Montgomery reductions once, in
+// reduce. Each mulAcc adds at most 2 q²-units to either coefficient
+// (see below), and fp.Wide's contract allows ~15 units, so up to six
+// products may share one accumulator — every caller in this package
+// stays at or below that.
+type fp2Wide struct {
+	c0, c1 fp.Wide
+}
+
+// mulAcc accumulates x·y into w without reducing, by Karatsuba on wide
+// limbs. With ac = x.C0·y.C0, bd = x.C1·y.C1 and the loose (unreduced)
+// sums s = x.C0+x.C1, s' = y.C0+y.C1:
+//
+//	c0 += ac + q² − bd   (the q² pad keeps the difference non-negative;
+//	                      ac ≤ q², so the net contribution is ≤ 2q²)
+//	c1 += s·s' − ac − bd (exact integer identity: s·s' = ac+ad+bc+bd,
+//	                      so no pad is needed and the net is ad+bc ≤ 2q²)
+//
+// The loose sums are < 2q and fit four limbs; their product is < 4q²,
+// comfortably inside the Wide contract as a transient.
+func (w *fp2Wide) mulAcc(x, y *Fp2) {
+	var ac, bd, cross fp.Wide
+	ac.Mul(&x.C0, &y.C0)
+	bd.Mul(&x.C1, &y.C1)
+	var sx, sy fp.Element
+	fp.LooseAdd(&sx, &x.C0, &x.C1)
+	fp.LooseAdd(&sy, &y.C0, &y.C1)
+	cross.Mul(&sx, &sy)
+	cross.Sub(&ac)
+	cross.Sub(&bd)
+	w.c0.Add(&ac)
+	w.c0.AddQSquared()
+	w.c0.Sub(&bd)
+	w.c1.Add(&cross)
+}
+
+// reduce Montgomery-reduces the accumulator into z.
+func (w *fp2Wide) reduce(z *Fp2) {
+	w.c0.Reduce(&z.C0)
+	w.c1.Reduce(&z.C1)
+}
+
 // MulByXi sets z = xi·x for the sextic non-residue xi = 9 + i:
 // (a+bi)(9+i) = (9a-b) + (a+9b)i, computed with shifts and additions
 // instead of multiplications.

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mccls/internal/cttest"
+)
+
+// TestConstantTimeSign is the dudect-style smoke for the signing path:
+// fixed-message and random-message classes are interleaved and the two
+// timing populations compared with Welch's t-test. The nonce stream is
+// replayed identically for both classes (same seed sequence per round),
+// so the only class-dependent input is the message bytes — a schedule
+// that branches on message or scalar content would separate the means.
+// The threshold is generous for the same reason as the fp smokes: this
+// guards against reintroducing a large data-dependent branch, not
+// against microarchitectural leakage.
+func TestConstantTimeSign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping Sign timing smoke in -short mode")
+	}
+	seedRng := rand.New(rand.NewSource(1))
+	kgc, err := Setup(seedRng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := GenerateKeyPair(kgc.Params(), kgc.ExtractPartialPrivateKey("ct@manet"), seedRng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const batch, rounds = 4, 16
+	var msgs [2][][][]byte // [class][round][i]
+	fixed := []byte("constant-time probe message, sixty-four bytes of steady payload!")
+	for class := 0; class < 2; class++ {
+		msgs[class] = make([][][]byte, rounds)
+		for r := 0; r < rounds; r++ {
+			ms := make([][]byte, batch)
+			for i := range ms {
+				m := make([]byte, len(fixed))
+				if class == 0 {
+					copy(m, fixed)
+				} else {
+					seedRng.Read(m)
+				}
+				ms[i] = m
+			}
+			msgs[class][r] = ms
+		}
+	}
+
+	var round [2]int
+	s := cttest.Collect(300, 3, func(class int) {
+		r := round[class] % rounds
+		round[class]++
+		// Identical nonce stream for both classes at the same round.
+		nonceRng := rand.New(rand.NewSource(int64(1000 + r)))
+		for i := 0; i < batch; i++ {
+			if _, err := Sign(kgc.Params(), sk, msgs[class][r][i], nonceRng); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if tstat := cttest.MaxT(s); tstat > 25 {
+		t.Errorf("Sign timing leak: |t| = %.2f > 25", tstat)
+	}
+}

@@ -1,0 +1,131 @@
+// Package cttest is a dudect-style timing-leak smoke harness (Reparaz,
+// Balasch, Verbauwhede: "Dude, is my code constant time?", DATE 2017).
+// Instead of proving constant-timeness statically, it measures the same
+// operation over two input classes — one fixed, one random — in randomly
+// interleaved order and applies Welch's t-test to the two timing
+// populations. Input-dependent branches or table lookups show up as a
+// class-dependent shift in the distribution and drive |t| up; an
+// implementation whose schedule is independent of its operands keeps t
+// small no matter how long the test runs.
+//
+// This is a regression smoke, not a verdict: thresholds are deliberately
+// generous so scheduler noise on shared CI runners does not flake, and a
+// pass only means "no large, obvious leak". The useful property is the
+// other direction — reintroducing a data-dependent early exit into the
+// Fp kernels moves t by orders of magnitude, which the smoke catches.
+package cttest
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Samples holds per-class timing observations in nanoseconds.
+// Class 0 is the fixed-input class, class 1 the random-input class.
+type Samples struct {
+	Fixed  []float64
+	Random []float64
+}
+
+// Collect runs measure n times per class in a randomly interleaved
+// schedule (derived from seed) and records the wall-clock duration of
+// each call. measure(class) must perform the same amount of work for
+// both classes apart from the input values themselves — typically a
+// fixed-length loop over pre-generated inputs. A short warmup of each
+// class runs untimed first.
+func Collect(n int, seed int64, measure func(class int)) Samples {
+	schedule := make([]int, 0, 2*n)
+	for i := 0; i < n; i++ {
+		schedule = append(schedule, 0, 1)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(schedule), func(i, j int) {
+		schedule[i], schedule[j] = schedule[j], schedule[i]
+	})
+	for i := 0; i < 3; i++ {
+		measure(0)
+		measure(1)
+	}
+	s := Samples{
+		Fixed:  make([]float64, 0, n),
+		Random: make([]float64, 0, n),
+	}
+	for _, class := range schedule {
+		start := time.Now()
+		measure(class)
+		dt := float64(time.Since(start).Nanoseconds())
+		if class == 0 {
+			s.Fixed = append(s.Fixed, dt)
+		} else {
+			s.Random = append(s.Random, dt)
+		}
+	}
+	return s
+}
+
+// Welch returns Welch's t statistic for the two samples: the difference
+// of means scaled by the pooled standard error, without assuming equal
+// variances. |t| grows with evidence that the populations differ.
+func Welch(a, b []float64) float64 {
+	ma, va := meanVar(a)
+	mb, vb := meanVar(b)
+	denom := math.Sqrt(va/float64(len(a)) + vb/float64(len(b)))
+	if denom == 0 {
+		return 0
+	}
+	return (ma - mb) / denom
+}
+
+// MaxT returns the largest |t| over the raw samples and a series of
+// upper-percentile crops of the pooled distribution. Cropping discards
+// the long scheduler/GC tail that can both hide a leak (by inflating
+// variance) and fake one (a burst of preemptions landing in one class);
+// dudect does the same with a ladder of thresholds.
+func MaxT(s Samples) float64 {
+	worst := math.Abs(Welch(s.Fixed, s.Random))
+	for _, pct := range []float64{0.95, 0.9, 0.8} {
+		cut := percentile(append(append([]float64(nil), s.Fixed...), s.Random...), pct)
+		f := below(s.Fixed, cut)
+		r := below(s.Random, cut)
+		if len(f) > 10 && len(r) > 10 {
+			if t := math.Abs(Welch(f, r)); t > worst {
+				worst = t
+			}
+		}
+	}
+	return worst
+}
+
+func meanVar(xs []float64) (mean, variance float64) {
+	if len(xs) < 2 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		variance += d * d
+	}
+	variance /= float64(len(xs) - 1)
+	return mean, variance
+}
+
+func percentile(xs []float64, p float64) float64 {
+	sort.Float64s(xs)
+	idx := int(p * float64(len(xs)-1))
+	return xs[idx]
+}
+
+func below(xs []float64, cut float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if x <= cut {
+			out = append(out, x)
+		}
+	}
+	return out
+}
