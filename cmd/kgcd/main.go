@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"flag"
 	"fmt"
@@ -28,8 +29,11 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"mccls/internal/bn254"
 	"mccls/internal/core"
@@ -38,13 +42,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// SIGINT/SIGTERM start a graceful drain instead of dropping in-flight
+	// enrollments on the floor; a second signal kills the process hard.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "kgcd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("kgcd", flag.ContinueOnError)
 	role := fs.String("role", "all", "all | signer | combiner")
 	listen := fs.String("listen", "127.0.0.1:7600", "address to serve on")
@@ -59,6 +67,7 @@ func run(args []string) error {
 	rate := fs.Float64("rate", kgcd.DefaultRatePerSec, "per-identity enrollments/sec (negative disables)")
 	burst := fs.Int("burst", kgcd.DefaultRateBurst, "per-identity burst size")
 	timeout := fs.Duration("timeout", kgcd.DefaultRequestTimeout, "per-enrollment fan-out timeout")
+	grace := fs.Duration("grace", 10*time.Second, "drain budget for graceful shutdown on SIGINT/SIGTERM")
 	validate := fs.Bool("validate", false, "pairing-check every combined key before serving it")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,11 +81,11 @@ func run(args []string) error {
 	}
 	switch *role {
 	case "all":
-		return runAll(*listen, *t, *n, *masterPath, *shareDir, combCfg)
+		return runAll(ctx, *listen, *t, *n, *masterPath, *shareDir, *grace, combCfg)
 	case "signer":
-		return runSigner(*listen, *sharePath, *paramsPath)
+		return runSigner(ctx, *listen, *sharePath, *paramsPath, *grace)
 	case "combiner":
-		return runCombiner(*listen, *t, *paramsPath, *signers, combCfg)
+		return runCombiner(ctx, *listen, *t, *paramsPath, *signers, *grace, combCfg)
 	default:
 		return fmt.Errorf("unknown role %q (want all, signer or combiner)", *role)
 	}
@@ -94,7 +103,7 @@ func writeHexFile(path string, data []byte) error {
 	return os.WriteFile(path, []byte(hex.EncodeToString(data)+"\n"), 0o600)
 }
 
-func runAll(listen string, t, n int, masterPath, shareDir string, combCfg kgcd.Config) error {
+func runAll(ctx context.Context, listen string, t, n int, masterPath, shareDir string, grace time.Duration, combCfg kgcd.Config) error {
 	var master *big.Int
 	if masterPath != "" {
 		raw, err := readHexFile(masterPath)
@@ -147,10 +156,14 @@ func runAll(listen string, t, n int, masterPath, shareDir string, combCfg kgcd.C
 	for i, u := range cl.SignerURLs {
 		fmt.Printf("kgcd: signer %d on %s\n", i+1, u)
 	}
-	select {} // serve until killed
+	<-ctx.Done() // serve until signaled
+	fmt.Printf("kgcd: draining (grace %v)\n", grace)
+	drainCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	return cl.Shutdown(drainCtx)
 }
 
-func runSigner(listen, sharePath, paramsPath string) error {
+func runSigner(ctx context.Context, listen, sharePath, paramsPath string, grace time.Duration) error {
 	if sharePath == "" || paramsPath == "" {
 		return fmt.Errorf("signer role needs -share and -params")
 	}
@@ -170,11 +183,11 @@ func runSigner(listen, sharePath, paramsPath string) error {
 	if err != nil {
 		return err
 	}
-	return serve(listen, kgcd.NewSignerHandler(signer, 0),
-		fmt.Sprintf("signer %d", signer.Index()))
+	return serve(ctx, listen, kgcd.NewSignerHandler(signer, 0),
+		fmt.Sprintf("signer %d", signer.Index()), grace)
 }
 
-func runCombiner(listen string, t int, paramsPath, signers string, combCfg kgcd.Config) error {
+func runCombiner(ctx context.Context, listen string, t int, paramsPath, signers string, grace time.Duration, combCfg kgcd.Config) error {
 	if paramsPath == "" || signers == "" {
 		return fmt.Errorf("combiner role needs -params and -signers")
 	}
@@ -189,8 +202,8 @@ func runCombiner(listen string, t int, paramsPath, signers string, combCfg kgcd.
 	if err != nil {
 		return err
 	}
-	return serve(listen, srv.Handler(),
-		fmt.Sprintf("%d-of-%d combiner", t, len(combCfg.SignerURLs)))
+	return serve(ctx, listen, srv.Handler(),
+		fmt.Sprintf("%d-of-%d combiner", t, len(combCfg.SignerURLs)), grace)
 }
 
 func loadParams(path string) (*core.Params, error) {
@@ -201,13 +214,25 @@ func loadParams(path string) (*core.Params, error) {
 	return core.UnmarshalParams(raw)
 }
 
-// serve binds the listener and serves forever with the standard kgcd
-// server timeouts.
-func serve(listen string, h http.Handler, what string) error {
+// serve binds the listener and serves with the standard kgcd server
+// timeouts until the context is canceled, then drains in-flight requests
+// within the grace budget.
+func serve(ctx context.Context, listen string, h http.Handler, what string, grace time.Duration) error {
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("kgcd: %s on http://%s\n", what, ln.Addr())
-	return kgcd.NewHTTPServer(h).Serve(ln)
+	srv := kgcd.NewHTTPServer(h)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Printf("kgcd: %s draining (grace %v)\n", what, grace)
+	drainCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	return srv.Shutdown(drainCtx)
 }

@@ -13,10 +13,23 @@
 // With no -addr it self-hosts an all-in-one t-of-n deployment on loopback
 // (rate limiting disabled so the bench measures issuance and caching, not
 // the limiter). Exits nonzero if no enrollment succeeds.
+//
+// -chaos appends a churn phase (self-host only): a deterministic
+// faulthttp schedule kills one of the n replicas every -chaosperiod for
+// -chaosdown (always below quorum loss for t ≤ n−1), a proactive share
+// refresh runs at half-time, and closed-loop workers keep enrolling
+// throughout. The run records availability, latency under churn, kill and
+// refresh counts, and byte-compares post-churn issuance against the
+// single-master oracle. Any failed enrollment under below-quorum faults
+// exits nonzero.
+//
+//	kgcload -chaos -chaosfor 30s -chaosperiod 5s -chaosdown 2500ms -json BENCH_kgc.json
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,6 +43,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mccls/internal/bn254"
+	"mccls/internal/core"
+	"mccls/internal/faulthttp"
 	"mccls/internal/kgcd"
 )
 
@@ -51,6 +67,12 @@ type options struct {
 	seed        int64
 	jsonPath    string
 	timeout     time.Duration
+
+	chaos       bool
+	chaosFor    time.Duration
+	chaosPeriod time.Duration
+	chaosDown   time.Duration
+	chaosIDs    int
 }
 
 func parseOptions(args []string) (options, error) {
@@ -67,6 +89,11 @@ func parseOptions(args []string) (options, error) {
 	fs.Int64Var(&o.seed, "seed", 1, "seed for warm-phase identity draws")
 	fs.StringVar(&o.jsonPath, "json", "", "write the report to this file")
 	fs.DurationVar(&o.timeout, "reqtimeout", 10*time.Second, "per-request client timeout")
+	fs.BoolVar(&o.chaos, "chaos", false, "append a replica-churn phase (self-host only)")
+	fs.DurationVar(&o.chaosFor, "chaosfor", 30*time.Second, "chaos phase duration")
+	fs.DurationVar(&o.chaosPeriod, "chaosperiod", 5*time.Second, "interval between replica kills")
+	fs.DurationVar(&o.chaosDown, "chaosdown", 2500*time.Millisecond, "how long each killed replica stays down")
+	fs.IntVar(&o.chaosIDs, "chaosids", 200, "identity pool size for the chaos phase")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -78,6 +105,17 @@ func parseOptions(args []string) (options, error) {
 	}
 	if o.warmIDs < 1 {
 		o.warmIDs = 1
+	}
+	if o.chaos {
+		if o.addr != "" {
+			return o, fmt.Errorf("-chaos needs the self-hosted deployment (drop -addr)")
+		}
+		if o.chaosDown >= o.chaosPeriod {
+			return o, fmt.Errorf("-chaosdown must be < -chaosperiod (one dark replica at a time)")
+		}
+		if o.chaosIDs < 1 {
+			o.chaosIDs = 1
+		}
 	}
 	return o, nil
 }
@@ -104,6 +142,23 @@ type phaseReport struct {
 	LatencyMicros latencySummary `json:"latency_us"`
 }
 
+// chaosReport is the churn phase's results.
+type chaosReport struct {
+	DurationSeconds float64        `json:"duration_seconds"`
+	PeriodSeconds   float64        `json:"kill_period_seconds"`
+	DownSeconds     float64        `json:"kill_down_seconds"`
+	Kills           int            `json:"kills"`
+	Refreshes       int            `json:"refreshes"`
+	Epoch           uint32         `json:"epoch"`
+	Requests        int            `json:"requests"`
+	Success         int            `json:"success"`
+	Errors          int            `json:"errors"`
+	Availability    float64        `json:"availability"`
+	ThroughputRPS   float64        `json:"throughput_rps"`
+	LatencyMicros   latencySummary `json:"latency_us"`
+	OracleChecked   int            `json:"oracle_checked"`
+}
+
 // report is the full BENCH_kgc.json payload.
 type report struct {
 	GeneratedUnix int64             `json:"generated_unix"`
@@ -116,6 +171,7 @@ type report struct {
 	Phases        []phaseReport     `json:"phases"`
 	TotalSuccess  int               `json:"total_success"`
 	Validated     int               `json:"validated"`
+	Chaos         *chaosReport      `json:"chaos,omitempty"`
 	ServerMetrics map[string]uint64 `json:"server_metrics,omitempty"`
 }
 
@@ -127,15 +183,48 @@ func run(args []string, out *os.File) error {
 
 	target := o.addr
 	selfHost := target == ""
+	var (
+		cluster  *kgcd.Cluster
+		injector *faulthttp.Injector
+		oracle   *core.KGC
+		kills    int
+	)
 	if selfHost {
-		cl, err := kgcd.StartCluster(kgcd.ClusterConfig{
+		clusterCfg := kgcd.ClusterConfig{
 			T: o.t, N: o.n,
 			Combiner: kgcd.Config{RatePerSec: -1},
-		})
+		}
+		if o.chaos {
+			// A deterministic master makes the single-master oracle
+			// reproducible, so post-churn issuance can be byte-compared.
+			var seedBytes [8]byte
+			binary.BigEndian.PutUint64(seedBytes[:], uint64(o.seed))
+			master := bn254.HashToScalar("kgcload/chaos", seedBytes[:])
+			var err error
+			if oracle, err = core.NewKGCFromMaster(master); err != nil {
+				return err
+			}
+			clusterCfg.Master = master
+			// One rotating kill per period; the injector stays unstarted
+			// (injecting nothing) until the chaos phase begins, so the cold
+			// and warm phases in the same invocation run clean.
+			targets := make([]string, o.n)
+			for i := range targets {
+				targets[i] = fmt.Sprintf("replica-%d", i)
+			}
+			crashes := faulthttp.RotatingCrashes(targets, o.chaosPeriod, o.chaosDown, o.chaosFor)
+			kills = len(crashes)
+			injector = faulthttp.New(faulthttp.Schedule{Crashes: crashes})
+			clusterCfg.SignerMiddleware = func(i int, h http.Handler) http.Handler {
+				return faulthttp.Middleware(injector, fmt.Sprintf("replica-%d", i), h)
+			}
+		}
+		cl, err := kgcd.StartCluster(clusterCfg)
 		if err != nil {
 			return fmt.Errorf("self-host: %w", err)
 		}
 		defer cl.Close()
+		cluster = cl
 		target = cl.URL
 		fmt.Fprintf(out, "kgcload: self-hosted %d-of-%d kgcd on %s\n", o.t, o.n, target)
 	}
@@ -208,6 +297,14 @@ func run(args []string, out *os.File) error {
 		}
 	}
 
+	if o.chaos {
+		cr, err := runChaos(ctx, o, client, cluster, oracle, injector, kills, out)
+		if err != nil {
+			return err
+		}
+		rep.Chaos = cr
+	}
+
 	if metricsText, err := client.RawMetrics(ctx); err == nil {
 		rep.ServerMetrics = scrapeCounters(metricsText)
 	}
@@ -218,6 +315,13 @@ func run(args []string, out *os.File) error {
 			ph.Name, ph.Requests, ph.ThroughputRPS,
 			ph.LatencyMicros.P50, ph.LatencyMicros.P95, ph.LatencyMicros.P99,
 			100*ph.CacheHitRate, ph.Errors)
+	}
+	if rep.Chaos != nil {
+		c := rep.Chaos
+		fmt.Fprintf(out,
+			"kgcload: chaos %6d reqs %6.0f req/s  p99 %6.0fµs  kills %d  epoch %d  avail %.4f  oracle %d  errors %d\n",
+			c.Requests, c.ThroughputRPS, c.LatencyMicros.P99,
+			c.Kills, c.Epoch, c.Availability, c.OracleChecked, c.Errors)
 	}
 
 	if o.jsonPath != "" {
@@ -233,7 +337,118 @@ func run(args []string, out *os.File) error {
 	if rep.TotalSuccess == 0 {
 		return fmt.Errorf("no enrollment succeeded")
 	}
+	if rep.Chaos != nil && rep.Chaos.Errors > 0 {
+		return fmt.Errorf("chaos: %d enrollments failed under below-quorum faults", rep.Chaos.Errors)
+	}
 	return nil
+}
+
+// runChaos drives the churn phase: the fault schedule starts, closed-loop
+// workers keep enrolling from a bounded identity pool, a proactive share
+// refresh fires at half-time, and afterwards fresh identities are enrolled
+// and byte-compared against the single-master oracle. Every kill leaves
+// t-of-n replicas up, so a failed enrollment is a robustness bug, not an
+// expected casualty.
+func runChaos(ctx context.Context, o options, client *kgcd.Client, cl *kgcd.Cluster, oracle *core.KGC, in *faulthttp.Injector, kills int, out *os.File) (*chaosReport, error) {
+	cr := &chaosReport{
+		DurationSeconds: o.chaosFor.Seconds(),
+		PeriodSeconds:   o.chaosPeriod.Seconds(),
+		DownSeconds:     o.chaosDown.Seconds(),
+		Kills:           kills,
+	}
+	fmt.Fprintf(out, "kgcload: chaos — 1 of %d replicas down %v in every %v, for %v, share refresh at half-time\n",
+		o.n, o.chaosDown, o.chaosPeriod, o.chaosFor)
+	in.Start()
+	deadline := time.Now().Add(o.chaosFor)
+
+	// The refresh's internal per-replica retry budget is shorter than a
+	// down window, so an outer loop keeps re-posting the pinned deltas
+	// until the killed replica comes back and the epoch commits.
+	var refreshOK atomic.Bool
+	var refreshErr error
+	var refreshWG sync.WaitGroup
+	refreshWG.Add(1)
+	go func() {
+		defer refreshWG.Done()
+		timer := time.NewTimer(o.chaosFor / 2)
+		defer timer.Stop()
+		select {
+		case <-ctx.Done():
+			return
+		case <-timer.C:
+		}
+		for attempt := 0; attempt < 8; attempt++ {
+			epoch, err := cl.Refresh(ctx)
+			if err == nil {
+				refreshOK.Store(true)
+				fmt.Fprintf(out, "kgcload: chaos — refreshed shares to epoch %d mid-churn\n", epoch)
+				return
+			}
+			refreshErr = err
+			time.Sleep(time.Second)
+		}
+	}()
+
+	var latMu sync.Mutex
+	lats := make([]int64, 0, 4096)
+	var reqs, errs atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < o.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.seed ^ int64(w+1)))
+			for time.Now().Before(deadline) {
+				id := fmt.Sprintf("chaos-node-%08d", rng.Intn(o.chaosIDs))
+				t0 := time.Now()
+				_, err := client.Enroll(ctx, id)
+				reqs.Add(1)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				latMu.Lock()
+				lats = append(lats, time.Since(t0).Nanoseconds())
+				latMu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	refreshWG.Wait()
+	if !refreshOK.Load() {
+		return nil, fmt.Errorf("chaos: share refresh never committed: %w", refreshErr)
+	}
+
+	cr.Refreshes = 1
+	cr.Epoch = cl.Epoch()
+	cr.Requests = int(reqs.Load())
+	cr.Success = cr.Requests - int(errs.Load())
+	cr.Errors = int(errs.Load())
+	if cr.Requests > 0 {
+		cr.Availability = float64(cr.Success) / float64(cr.Requests)
+	}
+	if wall > 0 {
+		cr.ThroughputRPS = float64(cr.Success) / wall.Seconds()
+	}
+	cr.LatencyMicros = summarize(lats)
+
+	// Post-churn oracle: fresh identities must combine to exactly the bytes
+	// a single-master KGC would issue — the refresh moved shares, never keys.
+	for i := 0; i < o.validate; i++ {
+		id := fmt.Sprintf("chaos-oracle-%d", i)
+		res, err := client.Enroll(ctx, id)
+		if err != nil {
+			return nil, fmt.Errorf("chaos oracle enroll %q: %w", id, err)
+		}
+		want := oracle.ExtractPartialPrivateKey(id)
+		if !bytes.Equal(res.PartialKey.Marshal(), want.Marshal()) {
+			return nil, fmt.Errorf("chaos oracle %q: issued bytes diverge from single-master issuance", id)
+		}
+		cr.OracleChecked++
+	}
+	return cr, nil
 }
 
 // runPhase drives len(ids) enrollments through the workers and summarizes.

@@ -51,11 +51,62 @@ func TestLoadSmoke(t *testing.T) {
 	}
 }
 
+// TestChaosSmoke runs a compressed churn phase — one replica of three
+// killed every second, a share refresh at half-time — and requires zero
+// failed enrollments: every kill leaves the 2-of-3 quorum intact, so the
+// combiner must absorb the churn invisibly.
+func TestChaosSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos phase runs wall-clock seconds")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	err := run([]string{
+		"-t", "2", "-n", "3",
+		"-requests", "10", "-cold", "5", "-warmids", "5",
+		"-concurrency", "4", "-validate", "2",
+		"-chaos", "-chaosfor", "4s", "-chaosperiod", "1s",
+		"-chaosdown", "400ms", "-chaosids", "20",
+		"-json", jsonPath,
+	}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Chaos
+	if c == nil {
+		t.Fatal("report has no chaos section")
+	}
+	if c.Errors != 0 {
+		t.Errorf("chaos errors = %d, want 0 (faults never broke quorum)", c.Errors)
+	}
+	if c.Kills < 3 {
+		t.Errorf("kills = %d, want ≥ 3 over 4s at 1s period", c.Kills)
+	}
+	if c.Refreshes != 1 || c.Epoch != 1 {
+		t.Errorf("refreshes %d epoch %d, want 1/1", c.Refreshes, c.Epoch)
+	}
+	if c.Requests == 0 || c.Availability != 1 {
+		t.Errorf("requests %d availability %v, want closed-loop traffic at 1.0", c.Requests, c.Availability)
+	}
+	if c.OracleChecked != 2 {
+		t.Errorf("oracle_checked = %d, want 2", c.OracleChecked)
+	}
+}
+
 func TestBadFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{"-requests", "0"},
 		{"-requests", "10", "-cold", "20"},
 		{"-concurrency", "0"},
+		{"-chaos", "-addr", "http://example.invalid"},
+		{"-chaos", "-chaosperiod", "1s", "-chaosdown", "2s"},
 	} {
 		if err := run(args, os.Stdout); err == nil {
 			t.Errorf("args %v: want error", args)

@@ -1,0 +1,230 @@
+package faulthttp
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable time source pinned to a base instant.
+type fakeClock struct{ at atomic.Int64 }
+
+func (c *fakeClock) now() time.Time            { return time.Unix(1000, 0).Add(time.Duration(c.at.Load())) }
+func (c *fakeClock) set(elapsed time.Duration) { c.at.Store(int64(elapsed)) }
+
+func newTestInjector(s Schedule) (*Injector, *fakeClock) {
+	clk := &fakeClock{}
+	in := New(s)
+	in.SetClock(clk.now)
+	in.Start()
+	return in, clk
+}
+
+func TestVerdictWindows(t *testing.T) {
+	in, clk := newTestInjector(Schedule{
+		Latency: []Latency{
+			{Target: "a", From: 0, To: 10 * time.Second, Delay: 5 * time.Millisecond},
+			{Target: "", From: 5 * time.Second, To: 10 * time.Second, Delay: 7 * time.Millisecond},
+		},
+		Drops:      []Drop{{Target: "b", From: 2 * time.Second, To: 4 * time.Second}},
+		Bursts:     []Burst{{Target: "a", From: 6 * time.Second, To: 8 * time.Second, Status: 503}},
+		Partitions: []Partition{{Targets: []string{"c", "d"}, From: 1 * time.Second, To: 3 * time.Second}},
+		Crashes:    []Crash{{Target: "e", At: 4 * time.Second, RestartAt: 6 * time.Second}},
+	})
+
+	cases := []struct {
+		at     time.Duration
+		target string
+		want   Verdict
+	}{
+		{0, "a", Verdict{Delay: 5 * time.Millisecond}},
+		{0, "b", Verdict{}},
+		{2 * time.Second, "b", Verdict{Drop: true}},
+		{4 * time.Second, "b", Verdict{}}, // [From, To)
+		{2 * time.Second, "c", Verdict{Drop: true}},
+		{2 * time.Second, "d", Verdict{Drop: true}},
+		{3 * time.Second, "c", Verdict{}},
+		{5 * time.Second, "e", Verdict{Delay: 7 * time.Millisecond, Drop: true}},   // wildcard latency composes with the crash
+		{6 * time.Second, "e", Verdict{Delay: 7 * time.Millisecond}},               // restarted
+		{6 * time.Second, "a", Verdict{Delay: 12 * time.Millisecond, Status: 503}}, // latency windows sum, burst applies
+		{9 * time.Second, "a", Verdict{Delay: 12 * time.Millisecond}},
+		{11 * time.Second, "a", Verdict{}},
+	}
+	for _, tc := range cases {
+		clk.set(tc.at)
+		if got := in.Verdict(tc.target); got != tc.want {
+			t.Errorf("Verdict(%q) at %v = %+v, want %+v", tc.target, tc.at, got, tc.want)
+		}
+	}
+}
+
+func TestPermanentCrashAndUnstarted(t *testing.T) {
+	in := New(Schedule{Crashes: []Crash{{Target: "x", At: time.Second}}})
+	clk := &fakeClock{}
+	in.SetClock(clk.now)
+	// Before Start: no faults at all.
+	if v := in.Verdict("x"); v.Drop {
+		t.Fatal("unstarted injector injected a fault")
+	}
+	in.Start()
+	clk.set(time.Hour)
+	if v := in.Verdict("x"); !v.Drop {
+		t.Fatal("permanent crash lifted")
+	}
+}
+
+func TestRotatingCrashes(t *testing.T) {
+	targets := []string{"r0", "r1", "r2"}
+	crashes := RotatingCrashes(targets, 5*time.Second, 2*time.Second, 15*time.Second)
+	if len(crashes) != 3 {
+		t.Fatalf("got %d crashes, want 3", len(crashes))
+	}
+	for k, c := range crashes {
+		if c.Target != targets[k%3] {
+			t.Errorf("crash %d targets %s, want %s", k, c.Target, targets[k%3])
+		}
+		if c.At != time.Duration(k)*5*time.Second || c.RestartAt != c.At+2*time.Second {
+			t.Errorf("crash %d window [%v, %v)", k, c.At, c.RestartAt)
+		}
+	}
+	// At any instant at most one target is dark.
+	in, clk := newTestInjector(Schedule{Crashes: crashes})
+	for e := time.Duration(0); e < 15*time.Second; e += 250 * time.Millisecond {
+		clk.set(e)
+		dark := 0
+		for _, tgt := range targets {
+			if in.Verdict(tgt).Drop {
+				dark++
+			}
+		}
+		if dark > 1 {
+			t.Fatalf("%d targets dark at %v", dark, e)
+		}
+	}
+	if RotatingCrashes(nil, time.Second, time.Second, time.Minute) != nil {
+		t.Error("empty target list: want nil")
+	}
+}
+
+func TestTransportInjection(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "real")
+	}))
+	defer backend.Close()
+	host := backend.Listener.Addr().String()
+
+	in, clk := newTestInjector(Schedule{
+		Drops:  []Drop{{Target: host, From: 0, To: time.Second}},
+		Bursts: []Burst{{Target: host, From: time.Second, To: 2 * time.Second, Status: 502}},
+	})
+	hc := &http.Client{Transport: &Transport{Injector: in}}
+
+	// Drop window: transport error, typed.
+	_, err := hc.Get(backend.URL)
+	var de *DropError
+	if err == nil || !errors.As(err, &de) || de.Target != host {
+		t.Fatalf("drop window: got %v, want DropError for %s", err, host)
+	}
+
+	// Burst window: synthesized 502, backend never reached.
+	clk.set(time.Second)
+	resp, err := hc.Get(backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 502 {
+		t.Fatalf("burst window: status %d, want 502", resp.StatusCode)
+	}
+
+	// Clean window: request passes through.
+	clk.set(3 * time.Second)
+	resp, err = hc.Get(backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "real" {
+		t.Fatalf("clean window: body %q", body)
+	}
+}
+
+func TestTransportLatency(t *testing.T) {
+	in, _ := newTestInjector(Schedule{
+		Latency: []Latency{{From: 0, To: time.Hour, Delay: 30 * time.Millisecond}},
+		Bursts:  []Burst{{From: 0, To: time.Hour, Status: 500}},
+	})
+	hc := &http.Client{Transport: &Transport{Injector: in}}
+	// The injected delay runs on the real clock even with a fake schedule
+	// clock — measure it.
+	t0 := time.Now()
+	resp, err := hc.Get("http://injected.invalid/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(t0); d < 30*time.Millisecond {
+		t.Fatalf("latency window not applied: %v", d)
+	}
+	if resp.StatusCode != 500 {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+}
+
+func TestMiddlewareInjection(t *testing.T) {
+	var reached atomic.Int64
+	in, clk := newTestInjector(Schedule{
+		Crashes: []Crash{{Target: "replica-0", At: 0, RestartAt: time.Second}},
+		Bursts:  []Burst{{Target: "replica-0", From: time.Second, To: 2 * time.Second, Status: 503}},
+	})
+	srv := httptest.NewServer(Middleware(in, "replica-0", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reached.Add(1)
+		io.WriteString(w, "ok")
+	})))
+	defer srv.Close()
+
+	// Crash window: the connection is aborted — a transport-level error,
+	// not an HTTP status.
+	if _, err := http.Get(srv.URL); err == nil {
+		t.Fatal("crash window: want a connection error")
+	}
+	if reached.Load() != 0 {
+		t.Fatal("crashed handler was reached")
+	}
+
+	// Burst window: HTTP 503 without reaching the handler.
+	clk.set(time.Second)
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 || reached.Load() != 0 {
+		t.Fatalf("burst window: status %d, reached %d", resp.StatusCode, reached.Load())
+	}
+
+	// After restart: normal service.
+	clk.set(3 * time.Second)
+	resp, err = http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || reached.Load() != 1 {
+		t.Fatalf("clean window: status %d, reached %d", resp.StatusCode, reached.Load())
+	}
+}
+
+func TestScheduleEmpty(t *testing.T) {
+	if !(Schedule{}).Empty() {
+		t.Error("zero schedule not Empty")
+	}
+	if (Schedule{Drops: []Drop{{}}}).Empty() {
+		t.Error("non-zero schedule Empty")
+	}
+}

@@ -1,0 +1,153 @@
+package kgcd
+
+import (
+	"testing"
+	"time"
+)
+
+func newTestBreaker(cfg BreakerConfig) (*breaker, *time.Time) {
+	b := newBreaker(cfg)
+	now := time.Unix(1000, 0)
+	b.now = func() time.Time { return now }
+	return b, &now
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	b, now := newTestBreaker(BreakerConfig{
+		Window: 4, MinSamples: 4, FailureRate: 0.5,
+		Cooldown: time.Second, MaxCooldown: 4 * time.Second,
+	})
+	if b.State() != BreakerClosed || !b.Allow() || !b.Admissible() {
+		t.Fatal("fresh breaker not closed/allowing")
+	}
+
+	// Below MinSamples nothing trips, even at 100% failure.
+	b.Record(false)
+	b.Record(false)
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatal("tripped below MinSamples")
+	}
+	// Fourth failure crosses the rate with a full window: open.
+	b.Record(false)
+	if b.State() != BreakerOpen || b.Opens() != 1 {
+		t.Fatalf("state %v opens %d, want open/1", b.State(), b.Opens())
+	}
+	if b.Allow() || b.Admissible() {
+		t.Fatal("open breaker admitted traffic inside cooldown")
+	}
+	if rem := b.RemainingCooldown(); rem != time.Second {
+		t.Fatalf("remaining cooldown %v, want 1s", rem)
+	}
+
+	// Cooldown elapses: one probe wins the half-open slot, others refused.
+	*now = now.Add(time.Second)
+	if !b.Admissible() {
+		t.Fatal("cooled-down breaker not admissible")
+	}
+	if !b.Allow() {
+		t.Fatal("probe refused after cooldown")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second probe admitted in half-open")
+	}
+
+	// Failed probe: reopen with doubled cooldown.
+	b.Record(false)
+	if b.State() != BreakerOpen || b.Opens() != 2 {
+		t.Fatalf("state %v opens %d after failed probe", b.State(), b.Opens())
+	}
+	if rem := b.RemainingCooldown(); rem != 2*time.Second {
+		t.Fatalf("cooldown after failed probe %v, want doubled 2s", rem)
+	}
+	*now = now.Add(time.Second)
+	if b.Allow() {
+		t.Fatal("admitted before doubled cooldown elapsed")
+	}
+
+	// Successful probe after the doubled cooldown: closed, cooldown reset.
+	*now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused after doubled cooldown")
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after successful probe, want closed", b.State())
+	}
+	// The window was reset: four fresh failures are needed to trip again,
+	// and the cooldown is back to the base.
+	b.Record(false)
+	b.Record(false)
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatal("stale window outcomes survived the reset")
+	}
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatal("did not re-trip on a fresh full window")
+	}
+	if rem := b.RemainingCooldown(); rem != time.Second {
+		t.Fatalf("cooldown %v after reset, want base 1s", rem)
+	}
+}
+
+func TestBreakerWindowSlides(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{
+		Window: 4, MinSamples: 4, FailureRate: 0.75,
+		Cooldown: time.Second,
+	})
+	// Alternating outcomes: 50% failure never reaches the 75% trip rate.
+	for i := 0; i < 40; i++ {
+		b.Record(i%2 == 0)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("tripped below the configured failure rate")
+	}
+	// Three failures in the 4-window stay under 75%... exactly 75% trips.
+	b.Record(false)
+	b.Record(false)
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatal("did not trip at the threshold rate")
+	}
+}
+
+func TestBreakerIgnoresLateResults(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{
+		Window: 2, MinSamples: 2, FailureRate: 0.5, Cooldown: time.Second,
+	})
+	b.Record(false)
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatal("did not trip")
+	}
+	// Stragglers from before the trip neither close nor extend.
+	b.Record(true)
+	b.Record(false)
+	if b.State() != BreakerOpen || b.Opens() != 1 {
+		t.Fatal("late results moved an open breaker")
+	}
+}
+
+func TestLatencyRingPercentile(t *testing.T) {
+	var r latencyRing
+	if r.Percentile(0.95) != 0 {
+		t.Fatal("empty ring: want 0")
+	}
+	for i := 1; i <= 100; i++ { // wraps the 64-slot ring; last 64 survive
+		r.Observe(time.Duration(i) * time.Millisecond)
+	}
+	p50 := r.Percentile(0.5)
+	if p50 < 37*time.Millisecond || p50 > 100*time.Millisecond {
+		t.Fatalf("p50 %v outside retained window", p50)
+	}
+	if p95 := r.Percentile(0.95); p95 < p50 {
+		t.Fatalf("p95 %v below p50 %v", p95, p50)
+	}
+	if r.Percentile(1) != 100*time.Millisecond {
+		t.Fatalf("max %v, want 100ms", r.Percentile(1))
+	}
+}

@@ -1,11 +1,13 @@
 package kgcd
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/big"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"mccls/internal/bn254"
@@ -33,10 +35,14 @@ type ClusterConfig struct {
 	T, N int
 	// Master is the master secret to shard; nil draws a fresh one from Rng.
 	Master *big.Int
-	// Rng feeds Setup and Split; nil uses crypto/rand.
+	// Rng feeds Setup, Split and refresh polynomials; nil uses crypto/rand.
 	Rng io.Reader
 	// ListenAddr is the combiner's address (default "127.0.0.1:0").
 	ListenAddr string
+	// SignerMiddleware, when set, wraps each signer replica's handler —
+	// the chaos harness injects faulthttp middleware here so a "killed"
+	// replica aborts connections exactly as its fault schedule dictates.
+	SignerMiddleware func(i int, h http.Handler) http.Handler
 	// Combiner carries cache/rate-limit/timeout tuning; Params, T and
 	// SignerURLs are filled in here.
 	Combiner Config
@@ -51,7 +57,15 @@ type Cluster struct {
 	// Params are the public parameters the shares were split under.
 	Params *core.Params
 
-	servers   []*http.Server
+	t   int
+	rng io.Reader
+
+	mu           sync.Mutex
+	epoch        uint32 // last refresh epoch all replicas confirmed
+	pending      []*threshold.Delta
+	pendingEpoch uint32
+
+	servers   []*http.Server // signers first, combiner last
 	listeners []net.Listener
 }
 
@@ -74,17 +88,21 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 
-	c := &Cluster{Params: kgc.Params()}
+	c := &Cluster{Params: kgc.Params(), t: cfg.T, rng: cfg.Rng}
 	fail := func(err error) (*Cluster, error) {
 		c.Close()
 		return nil, err
 	}
-	for _, sh := range shares {
+	for i, sh := range shares {
 		signer, err := threshold.NewSigner(kgc.Params(), sh)
 		if err != nil {
 			return fail(err)
 		}
-		u, err := c.serve("127.0.0.1:0", NewSignerHandler(signer, cfg.Combiner.MaxIDLen))
+		h := NewSignerHandler(signer, cfg.Combiner.MaxIDLen)
+		if cfg.SignerMiddleware != nil {
+			h = cfg.SignerMiddleware(i, h)
+		}
+		u, err := c.serve("127.0.0.1:0", h)
 		if err != nil {
 			return fail(err)
 		}
@@ -119,6 +137,81 @@ func (c *Cluster) serve(addr string, h http.Handler) (string, error) {
 	c.listeners = append(c.listeners, ln)
 	go func() { _ = srv.Serve(ln) }()
 	return "http://" + ln.Addr().String(), nil
+}
+
+// Epoch returns the last refresh epoch every replica confirmed.
+func (c *Cluster) Epoch() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// Refresh executes one proactive share refresh across the replica set: it
+// draws a zero-constant polynomial, posts each replica its delta, and
+// returns the new epoch once all n confirmed. The master secret is
+// untouched — issuance before, during and after the refresh combines to
+// byte-identical partial keys. Posts are retried (the /refresh endpoint is
+// idempotent), and a replica that stays unreachable fails the refresh: the
+// epoch bookkeeping then keeps mixed share sets from combining. A failed
+// round's deltas are pinned and re-posted by the next Refresh call — a
+// retry must NOT draw a fresh polynomial, or replicas that already applied
+// the first one would idempotently skip the second and end up on different
+// polynomials under the same epoch number.
+func (c *Cluster) Refresh(ctx context.Context) (uint32, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	toEpoch := c.epoch + 1
+	if c.pending == nil || c.pendingEpoch != toEpoch {
+		deltas, err := threshold.RefreshDeltas(c.t, len(c.SignerURLs), toEpoch, c.rng)
+		if err != nil {
+			return c.epoch, err
+		}
+		c.pending, c.pendingEpoch = deltas, toEpoch
+	}
+	deltas := c.pending
+	for i, u := range c.SignerURLs {
+		issuer := newHTTPIssuer(u, nil)
+		var lastErr error
+		applied := false
+		for attempt := 0; attempt < 5 && !applied; attempt++ {
+			if attempt > 0 {
+				select {
+				case <-ctx.Done():
+					return c.epoch, ctx.Err()
+				case <-time.After(time.Duration(attempt) * 200 * time.Millisecond):
+				}
+			}
+			ep, err := issuer.Refresh(ctx, deltas[i])
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if ep != toEpoch {
+				return c.epoch, fmt.Errorf("kgcd: replica %d refreshed to epoch %d, want %d", i, ep, toEpoch)
+			}
+			applied = true
+		}
+		if !applied {
+			return c.epoch, fmt.Errorf("kgcd: refresh epoch %d: replica %d unreachable: %w", toEpoch, i, lastErr)
+		}
+	}
+	c.epoch = toEpoch
+	c.pending = nil
+	return toEpoch, nil
+}
+
+// Shutdown drains the cluster gracefully within the context's deadline:
+// the combiner first (so in-flight enrollments can still reach signer
+// replicas), then the replicas. Close remains the abrupt path.
+func (c *Cluster) Shutdown(ctx context.Context) error {
+	var firstErr error
+	// servers holds signers first, combiner last; drain in reverse.
+	for i := len(c.servers) - 1; i >= 0; i-- {
+		if err := c.servers[i].Shutdown(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Close shuts down every listener in the cluster.

@@ -10,19 +10,26 @@
 //
 //	GET  /params  → {"ppub": hex}                       public parameters
 //	POST /enroll  {"id": ...} → {"id", "partial_key", "cached"}
-//	GET  /healthz → {"status", "t", "n", "signers_up"}  503 below quorum
+//	GET  /healthz → {"status", "t", "n", "signers_up", "replicas"}
 //	GET  /metrics → Prometheus text exposition
 //
 // The hot path is defended in depth: per-identity token-bucket rate
 // limiting (429), an LRU partial-key cache (re-enrollment is the common
 // case for a rebooting fleet), bounded request bodies and identity
-// lengths, and a per-request fan-out timeout.
+// lengths, and a per-request fan-out timeout. Against replica failure the
+// combiner holds a circuit breaker per replica (a dead replica is skipped
+// instead of soaking up fan-out slots), hedges stragglers with a spare
+// request, groups gathered shares by refresh epoch (a refresh in flight
+// must not poison a combination), and degrades gracefully: below quorum
+// it keeps serving cache hits and answers misses with 503 + Retry-After
+// instead of letting every request run into its deadline.
 package kgcd
 
 import (
 	"context"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -37,6 +44,8 @@ const (
 	DefaultMaxIDLen       = 256
 	DefaultCacheSize      = 1 << 16
 	DefaultRequestTimeout = 2 * time.Second
+	DefaultShareTimeout   = 1 * time.Second
+	DefaultProbeTimeout   = 1 * time.Second
 	// DefaultRatePerSec / DefaultRateBurst: a legitimate node re-enrolls at
 	// reboot cadence; 5/s sustained with a burst of 20 absorbs crash loops
 	// and flaky links without letting one identity monopolize issuance.
@@ -60,6 +69,18 @@ type Config struct {
 	RateBurst  int
 	// RequestTimeout bounds one enrollment's signer fan-out.
 	RequestTimeout time.Duration
+	// ShareTimeout bounds a single share RPC within the fan-out, so one
+	// hung replica fails fast and its slot is re-spent elsewhere.
+	ShareTimeout time.Duration
+	// ProbeTimeout bounds each per-replica /healthz probe.
+	ProbeTimeout time.Duration
+	// HedgeDelay: when the quorum is still incomplete after this long, one
+	// spare request is launched at the next untried replica. Zero selects
+	// an adaptive delay (2× the slowest replica's p95 share latency,
+	// clamped to [5ms, RequestTimeout/2]); negative disables hedging.
+	HedgeDelay time.Duration
+	// Breaker tunes the per-replica circuit breakers.
+	Breaker BreakerConfig
 	// MaxIDLen bounds accepted identity byte length.
 	MaxIDLen int
 	// ValidateCombined pairing-checks every combined key before caching.
@@ -84,20 +105,37 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = DefaultRequestTimeout
 	}
+	if c.ShareTimeout == 0 {
+		c.ShareTimeout = DefaultShareTimeout
+	}
+	if c.ProbeTimeout == 0 {
+		c.ProbeTimeout = DefaultProbeTimeout
+	}
 	if c.MaxIDLen == 0 {
 		c.MaxIDLen = DefaultMaxIDLen
 	}
 	return c
 }
 
+// replica is the combiner's stateful view of one signer: the transport, a
+// circuit breaker, a share-latency ring (feeds the adaptive hedge delay)
+// and the latest health-probe latency.
+type replica struct {
+	issuer        shareIssuer
+	br            *breaker
+	lat           latencyRing
+	probeNanos    atomic.Int64 // last /healthz probe; -1 = failed, 0 = unprobed
+	shareFailures counter
+}
+
 // Server is the combiner.
 type Server struct {
-	cfg     Config
-	issuers []shareIssuer
-	cache   *lru.Cache[string] // identity → hex-marshalled partial key
-	limiter *rateLimiter
-	metrics metrics
-	rr      atomic.Uint32 // round-robin cursor over signer replicas
+	cfg      Config
+	replicas []*replica
+	cache    *lru.Cache[string] // identity → hex-marshalled partial key
+	limiter  *rateLimiter
+	metrics  metrics
+	rr       atomic.Uint32 // round-robin cursor over signer replicas
 }
 
 // NewServer validates the configuration and builds a combiner.
@@ -116,7 +154,10 @@ func NewServer(cfg Config) (*Server, error) {
 		limiter: newRateLimiter(cfg.RatePerSec, cfg.RateBurst, 2*cfg.CacheSize),
 	}
 	for _, u := range cfg.SignerURLs {
-		s.issuers = append(s.issuers, newHTTPIssuer(u, cfg.HTTPClient))
+		s.replicas = append(s.replicas, &replica{
+			issuer: newHTTPIssuer(u, cfg.HTTPClient),
+			br:     newBreaker(cfg.Breaker),
+		})
 	}
 	return s, nil
 }
@@ -137,11 +178,20 @@ type paramsResponse struct {
 	Ppub string `json:"ppub"`
 }
 
+type replicaHealth struct {
+	Name string `json:"name"`
+	Up   bool   `json:"up"`
+	// ProbeMicros is the probe round-trip in microseconds (-1 on failure).
+	ProbeMicros int64  `json:"probe_micros"`
+	Breaker     string `json:"breaker"`
+}
+
 type healthResponse struct {
-	Status    string `json:"status"`
-	T         int    `json:"t"`
-	N         int    `json:"n"`
-	SignersUp int    `json:"signers_up"`
+	Status    string          `json:"status"`
+	T         int             `json:"t"`
+	N         int             `json:"n"`
+	SignersUp int             `json:"signers_up"`
+	Replicas  []replicaHealth `json:"replicas,omitempty"`
 }
 
 // Handler returns the combiner's HTTP routes.
@@ -187,6 +237,17 @@ func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.cacheMisses.Inc()
 
+	// Graceful degradation: when the breakers say the quorum is gone, fail
+	// fast with a retry hint instead of burning the full request timeout.
+	// Cache hits (above) keep being served regardless.
+	if admissible := s.admissibleReplicas(); admissible < s.cfg.T {
+		s.metrics.degraded.Inc()
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("quorum unavailable: %d of %d replicas admissible, %d needed", admissible, len(s.replicas), s.cfg.T))
+		return
+	}
+
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	shares, err := s.gatherShares(ctx, req.ID)
@@ -214,81 +275,210 @@ func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
 	s.metrics.enrollLatency.Observe(time.Since(start))
 }
 
+func (s *Server) admissibleReplicas() int {
+	n := 0
+	for _, rep := range s.replicas {
+		if rep.br.Admissible() {
+			n++
+		}
+	}
+	return n
+}
+
+// retryAfterSeconds is the soonest an open breaker will admit a probe,
+// rounded up, at least one second.
+func (s *Server) retryAfterSeconds() int {
+	var soonest time.Duration
+	for _, rep := range s.replicas {
+		if rem := rep.br.RemainingCooldown(); rem > 0 && (soonest == 0 || rem < soonest) {
+			soonest = rem
+		}
+	}
+	secs := int((soonest + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// hedgeDelay is how long the fan-out waits on stragglers before spending a
+// spare request.
+func (s *Server) hedgeDelay() time.Duration {
+	if s.cfg.HedgeDelay > 0 {
+		return s.cfg.HedgeDelay
+	}
+	if s.cfg.HedgeDelay < 0 {
+		return s.cfg.RequestTimeout // never fires inside the deadline
+	}
+	var p95 time.Duration
+	for _, rep := range s.replicas {
+		if v := rep.lat.Percentile(0.95); v > p95 {
+			p95 = v
+		}
+	}
+	d := 2 * p95
+	if lo := 5 * time.Millisecond; d < lo {
+		d = lo
+	}
+	if hi := s.cfg.RequestTimeout / 2; d > hi {
+		d = hi
+	}
+	return d
+}
+
 // gatherShares fans out to the signer replicas and returns the first T key
-// shares. It starts T requests in parallel (rotating the starting replica
-// for load balance) and launches a replacement for every failure, so one
-// slow or dead replica degrades latency, not availability, as long as T
-// replicas remain reachable.
+// shares that agree on a refresh epoch. It starts T requests in parallel
+// (rotating the starting replica for load balance, skipping replicas whose
+// circuit breaker refuses), launches a replacement for every failure, and
+// hedges stragglers: if the quorum is still incomplete after hedgeDelay, a
+// spare request goes to the next untried replica. Shares are grouped by
+// epoch so that a proactive refresh landing mid-gather yields a clean
+// same-epoch quorum instead of an ErrMixedEpochs combination.
 func (s *Server) gatherShares(ctx context.Context, id string) ([]*threshold.KeyShare, error) {
-	n := len(s.issuers)
+	n := len(s.replicas)
 	type result struct {
 		ks  *threshold.KeyShare
 		err error
 	}
 	results := make(chan result, n)
 	first := int(s.rr.Add(1))
+	tried := 0
 	launched := 0
 	launch := func() bool {
-		if launched >= n {
-			return false
-		}
-		issuer := s.issuers[(first+launched)%n]
-		launched++
-		s.metrics.shareRequests.Inc()
-		go func() {
-			ks, err := issuer.Issue(ctx, id)
-			if err != nil {
-				err = fmt.Errorf("%s: %w", issuer.Name(), err)
+		for tried < n {
+			rep := s.replicas[(first+tried)%n]
+			tried++
+			if !rep.br.Allow() {
+				continue
 			}
-			results <- result{ks, err}
-		}()
-		return true
+			launched++
+			s.metrics.shareRequests.Inc()
+			go func() {
+				shareCtx, cancel := context.WithTimeout(ctx, s.cfg.ShareTimeout)
+				defer cancel()
+				t0 := time.Now()
+				ks, err := rep.issuer.Issue(shareCtx, id)
+				if err != nil {
+					if ctx.Err() != nil {
+						// The gather as a whole ended; this tells us nothing
+						// about the replica, so don't charge its breaker.
+						results <- result{nil, ctx.Err()}
+						return
+					}
+					rep.br.Record(false)
+					rep.shareFailures.Inc()
+					s.metrics.shareFailures.Inc()
+					results <- result{nil, fmt.Errorf("%s: %w", rep.issuer.Name(), err)}
+					return
+				}
+				rep.br.Record(true)
+				rep.lat.Observe(time.Since(t0))
+				results <- result{ks, nil}
+			}()
+			return true
+		}
+		return false
 	}
 	for i := 0; i < s.cfg.T; i++ {
 		launch()
 	}
-	var shares []*threshold.KeyShare
+	if launched == 0 {
+		return nil, fmt.Errorf("no admissible replicas (all circuit breakers open)")
+	}
+
+	hedge := time.NewTimer(s.hedgeDelay())
+	defer hedge.Stop()
+
+	byEpoch := make(map[uint32][]*threshold.KeyShare)
+	best := 0 // size of the largest same-epoch group
+	outstanding := launched
 	var lastErr error
-	outstanding := s.cfg.T
-	for len(shares) < s.cfg.T {
+	for {
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
+		case <-hedge.C:
+			if launch() {
+				outstanding++
+				s.metrics.hedgedRequests.Inc()
+			}
 		case r := <-results:
 			outstanding--
 			if r.err != nil {
-				s.metrics.shareFailures.Inc()
 				lastErr = r.err
 				if launch() {
 					outstanding++
 				} else if outstanding == 0 {
-					return nil, fmt.Errorf("%d of %d shares gathered, no replicas left: %w",
-						len(shares), s.cfg.T, lastErr)
+					return nil, fmt.Errorf("quorum not reached, no replicas left: %w", lastErr)
 				}
 				continue
 			}
-			shares = append(shares, r.ks)
+			g := append(byEpoch[r.ks.Epoch], r.ks)
+			byEpoch[r.ks.Epoch] = g
+			if len(g) >= s.cfg.T {
+				return g, nil
+			}
+			if len(byEpoch) > 1 && len(g) == 1 {
+				s.metrics.epochConflicts.Inc()
+			}
+			if len(g) > best {
+				best = len(g)
+			}
+			// Mixed epochs dilute the fan-out: keep enough requests in
+			// flight to complete the largest same-epoch group.
+			for best+outstanding < s.cfg.T && launch() {
+				outstanding++
+			}
+			if outstanding == 0 {
+				return nil, fmt.Errorf("replicas disagree on refresh epoch: %w", threshold.ErrMixedEpochs)
+			}
 		}
 	}
-	return shares, nil
 }
 
-// handleHealthz probes every replica concurrently with a short deadline
-// and reports quorum: 200 when at least T replicas answer, 503 otherwise.
+// handleHealthz probes every replica concurrently with a short deadline and
+// reports quorum: 200 when at least T replicas answer, 503 otherwise. The
+// per-replica section carries probe latency and breaker state.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	ctx, cancel := context.WithTimeout(r.Context(), 1*time.Second)
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.ProbeTimeout)
 	defer cancel()
-	up := make(chan bool, len(s.issuers))
-	for _, issuer := range s.issuers {
-		go func(si shareIssuer) { up <- si.Healthy(ctx) == nil }(issuer)
+	type probe struct {
+		i  int
+		up bool
+		d  time.Duration
+	}
+	probes := make(chan probe, len(s.replicas))
+	for i, rep := range s.replicas {
+		go func(i int, rep *replica) {
+			t0 := time.Now()
+			err := rep.issuer.Healthy(ctx)
+			d := time.Since(t0)
+			if err != nil {
+				rep.probeNanos.Store(-1)
+			} else {
+				rep.probeNanos.Store(d.Nanoseconds())
+			}
+			probes <- probe{i, err == nil, d}
+		}(i, rep)
 	}
 	alive := 0
-	for range s.issuers {
-		if <-up {
+	rh := make([]replicaHealth, len(s.replicas))
+	for range s.replicas {
+		p := <-probes
+		rep := s.replicas[p.i]
+		micros := int64(-1)
+		if p.up {
 			alive++
+			micros = p.d.Microseconds()
+		}
+		rh[p.i] = replicaHealth{
+			Name:        rep.issuer.Name(),
+			Up:          p.up,
+			ProbeMicros: micros,
+			Breaker:     rep.br.State().String(),
 		}
 	}
-	h := healthResponse{Status: "ok", T: s.cfg.T, N: len(s.issuers), SignersUp: alive}
+	h := healthResponse{Status: "ok", T: s.cfg.T, N: len(s.replicas), SignersUp: alive, Replicas: rh}
 	status := http.StatusOK
 	if alive < s.cfg.T {
 		h.Status = "degraded: below quorum"
@@ -300,4 +490,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.writePrometheus(w)
+	s.writeReplicaMetrics(w)
+}
+
+// writeReplicaMetrics renders the labeled per-replica series: breaker
+// position and trip count, last probe latency, share-RPC failures.
+func (s *Server) writeReplicaMetrics(w io.Writer) {
+	fmt.Fprint(w, "# HELP kgcd_replica_breaker_state Circuit breaker position per replica (0 closed, 1 open, 2 half-open).\n# TYPE kgcd_replica_breaker_state gauge\n")
+	for _, rep := range s.replicas {
+		fmt.Fprintf(w, "kgcd_replica_breaker_state{replica=%q} %d\n", rep.issuer.Name(), rep.br.State())
+	}
+	fmt.Fprint(w, "# HELP kgcd_replica_breaker_opens_total Times each replica's circuit breaker tripped open.\n# TYPE kgcd_replica_breaker_opens_total counter\n")
+	for _, rep := range s.replicas {
+		fmt.Fprintf(w, "kgcd_replica_breaker_opens_total{replica=%q} %d\n", rep.issuer.Name(), rep.br.Opens())
+	}
+	fmt.Fprint(w, "# HELP kgcd_replica_probe_latency_seconds Last health-probe round-trip per replica (-1 = probe failed, 0 = never probed).\n# TYPE kgcd_replica_probe_latency_seconds gauge\n")
+	for _, rep := range s.replicas {
+		v := float64(rep.probeNanos.Load()) / 1e9
+		if rep.probeNanos.Load() < 0 {
+			v = -1
+		}
+		fmt.Fprintf(w, "kgcd_replica_probe_latency_seconds{replica=%q} %g\n", rep.issuer.Name(), v)
+	}
+	fmt.Fprint(w, "# HELP kgcd_replica_share_failures_total Share RPCs that errored, per replica.\n# TYPE kgcd_replica_share_failures_total counter\n")
+	for _, rep := range s.replicas {
+		fmt.Fprintf(w, "kgcd_replica_share_failures_total{replica=%q} %d\n", rep.issuer.Name(), rep.shareFailures.Value())
+	}
 }

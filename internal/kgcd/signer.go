@@ -23,7 +23,18 @@ type shareRequest struct {
 
 type shareResponse struct {
 	Index uint8  `json:"index"`
+	Epoch uint32 `json:"epoch"`
 	Share string `json:"share"`
+}
+
+// refreshRequest / refreshResponse carry one proactive-refresh delta
+// (threshold.Delta.Marshal, hex) and the epoch the replica ended up at.
+type refreshRequest struct {
+	Delta string `json:"delta"`
+}
+
+type refreshResponse struct {
+	Epoch uint32 `json:"epoch"`
 }
 
 type errorResponse struct {
@@ -32,12 +43,16 @@ type errorResponse struct {
 
 // NewSignerHandler serves one share-holder replica:
 //
-//	POST /share   {"id": ...} → {"index": j, "share": hex(D_j)}
-//	GET  /healthz            → {"status": "ok", "index": j}
+//	POST /share   {"id": ...} → {"index": j, "epoch": e, "share": hex(D_j)}
+//	POST /refresh {"delta": hex(δ_j)} → {"epoch": e}
+//	GET  /healthz            → {"status": "ok", "index": j, "epoch": e}
 //
 // Replicas hold only their Shamir share; compromising fewer than t of them
-// reveals nothing about the master secret and forges nothing. maxIDLen
-// bounds identity length (≤ 0 selects DefaultMaxIDLen).
+// reveals nothing about the master secret and forges nothing. /refresh is
+// idempotent against coordinator retries (threshold.Signer.ApplyRefresh);
+// issuance keeps running while a refresh lands — a share is swapped
+// atomically and every issued key share is epoch-stamped. maxIDLen bounds
+// identity length (≤ 0 selects DefaultMaxIDLen).
 func NewSignerHandler(signer *threshold.Signer, maxIDLen int) http.Handler {
 	if maxIDLen <= 0 {
 		maxIDLen = DefaultMaxIDLen
@@ -54,10 +69,35 @@ func NewSignerHandler(signer *threshold.Signer, maxIDLen int) http.Handler {
 			return
 		}
 		ks := signer.Issue(req.ID)
-		writeJSON(w, http.StatusOK, shareResponse{Index: ks.Index, Share: hex.EncodeToString(ks.Marshal())})
+		writeJSON(w, http.StatusOK, shareResponse{Index: ks.Index, Epoch: ks.Epoch, Share: hex.EncodeToString(ks.Marshal())})
+	})
+	mux.HandleFunc("POST /refresh", func(w http.ResponseWriter, r *http.Request) {
+		var req refreshRequest
+		if err := decodeJSON(w, r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		raw, err := hex.DecodeString(req.Delta)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("delta hex: %v", err))
+			return
+		}
+		delta, err := threshold.UnmarshalDelta(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		epoch, err := signer.ApplyRefresh(delta)
+		if err != nil {
+			// Wrong index or an epoch gap: the coordinator's view of this
+			// replica is stale, not a malformed request.
+			writeError(w, http.StatusConflict, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, refreshResponse{Epoch: epoch})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "index": signer.Index()})
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "index": signer.Index(), "epoch": signer.Epoch()})
 	})
 	return mux
 }
@@ -121,7 +161,37 @@ func (h *httpIssuer) Issue(ctx context.Context, id string) (*threshold.KeyShare,
 	if ks.Index != sr.Index {
 		return nil, fmt.Errorf("signer %s: index mismatch %d vs %d", h.base, ks.Index, sr.Index)
 	}
+	if ks.Epoch != sr.Epoch {
+		return nil, fmt.Errorf("signer %s: epoch mismatch %d vs %d", h.base, ks.Epoch, sr.Epoch)
+	}
 	return ks, nil
+}
+
+// Refresh posts one proactive-refresh delta to the replica and returns the
+// epoch it reports afterwards.
+func (h *httpIssuer) Refresh(ctx context.Context, delta *threshold.Delta) (uint32, error) {
+	body, err := json.Marshal(refreshRequest{Delta: hex.EncodeToString(delta.Marshal())})
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.base+"/refresh", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := h.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("signer %s: refresh %s", h.base, readErrorBody(resp))
+	}
+	var rr refreshResponse
+	if err := json.NewDecoder(&limitedBody{resp.Body, maxBodyBytes}).Decode(&rr); err != nil {
+		return 0, fmt.Errorf("signer %s: decode refresh: %w", h.base, err)
+	}
+	return rr.Epoch, nil
 }
 
 func (h *httpIssuer) Healthy(ctx context.Context) error {

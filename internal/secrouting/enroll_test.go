@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"mccls/internal/fault"
 	"mccls/internal/mobility"
 	"mccls/internal/radio"
 	"mccls/internal/sim"
@@ -163,6 +164,92 @@ func TestEnrollmentKGCIgnoresUnregistered(t *testing.T) {
 	}
 	if e.Stats(0).RepliesSent != 2 {
 		t.Fatalf("KGC sent %d replies for 2 registered clients", e.Stats(0).RepliesSent)
+	}
+}
+
+// radioLifecycle adapts the medium's per-node radio power switch to the
+// fault.Node lifecycle surface, so declarative fault schedules can drive
+// enrollment tests that have no routing layer underneath. The bool returns
+// deduplicate transitions exactly like aodv.Node's.
+type radioLifecycle struct {
+	m    *radio.Medium
+	node int
+}
+
+func (r radioLifecycle) Down() bool {
+	if r.m.NodeDown(r.node) {
+		return false
+	}
+	r.m.SetNodeDown(r.node, true)
+	return true
+}
+
+func (r radioLifecycle) Up(bool) bool {
+	if !r.m.NodeDown(r.node) {
+		return false
+	}
+	r.m.SetNodeDown(r.node, false)
+	return true
+}
+
+// TestEnrollmentCrashOverlappingRegionOutage drives the enrollment protocol
+// with a declarative fault.Schedule that composes two failure modes: node 3
+// crashes (losing its volatile keys) and restarts *inside* a regional
+// outage that severs every link around nodes 1 and 2 — cutting the whole
+// right half of the line off from the KGC. The crashed node must keep
+// backing off against the unreachable KGC and re-enroll only after the
+// region clears, while nodes that merely lost connectivity (not power) keep
+// the keys they already hold: a partition is not a key loss.
+func TestEnrollmentCrashOverlappingRegionOutage(t *testing.T) {
+	s, m, auth, e := enrollNet(t, 5, EnrollConfig{KGCNode: 0})
+
+	sched := fault.Schedule{
+		Crashes: []fault.Crash{{Node: 3, At: 5 * time.Second, RestartAt: 10 * time.Second}},
+		// Disk at (300,0) r=150 covers nodes 1 (x=200) and 2 (x=400): every
+		// link touching either is dark during [8s, 20s), so nodes 1–4 cannot
+		// reach the KGC at node 0.
+		Regions: []fault.RegionOutage{{X: 300, Y: 0, Radius: 150, From: 8 * time.Second, To: 20 * time.Second}},
+	}
+	nodes := make([]fault.Node, 5)
+	for i := range nodes {
+		nodes[i] = radioLifecycle{m: m, node: i}
+	}
+	fault.Apply(s, sched, nodes, m, fault.Hooks{OnCrash: e.OnCrash, OnRestart: e.OnRestart})
+
+	// Mid-partition probe: node 3 is back up but must still be unenrolled,
+	// while node 4 — partitioned but never powered off — keeps its key.
+	var midEnrolled3, midEnrolled4 bool
+	s.Schedule(15*time.Second, func() {
+		midEnrolled3 = auth.Enrolled(3)
+		midEnrolled4 = auth.Enrolled(4)
+	})
+
+	s.Run(40 * time.Second)
+
+	if midEnrolled3 {
+		t.Fatal("node 3 re-enrolled across the partition")
+	}
+	if !midEnrolled4 {
+		t.Fatal("node 4 lost its key to a radio outage (partition is not a crash)")
+	}
+	if !e.AllEnrolled() {
+		t.Fatal("region cleared but enrollment never completed")
+	}
+	st := e.Stats(3)
+	if st.Successes != 2 {
+		t.Fatalf("node 3 Successes = %d, want 2 (initial + post-restart)", st.Successes)
+	}
+	if st.Timeouts < 2 {
+		t.Fatalf("node 3 saw %d timeouts retrying into the partition, want ≥ 2", st.Timeouts)
+	}
+	if st.MaxBackoff < 2*time.Second {
+		t.Fatalf("node 3 backoff never grew past the base: %v", st.MaxBackoff)
+	}
+	// Nodes that only lost links made exactly their one initial attempt.
+	for _, c := range []int{1, 2, 4} {
+		if st := e.Stats(c); st.Attempts != 1 || st.Successes != 1 {
+			t.Fatalf("node %d attempts/successes = %d/%d, want 1/1", c, st.Attempts, st.Successes)
+		}
 	}
 }
 

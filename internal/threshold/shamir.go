@@ -19,6 +19,7 @@
 package threshold
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 	"math/big"
@@ -32,20 +33,27 @@ const MaxShares = 255
 
 // Share is one Shamir share s_j = f(j) of the master secret. Index is the
 // polynomial evaluation point j ∈ [1, n]; zero is never a valid index (it
-// would be the secret itself).
+// would be the secret itself). Epoch counts proactive refreshes (see
+// refresh.go): Split mints epoch-0 shares, and every Refresh re-randomizes
+// the polynomial — without changing f(0) — and advances the epoch by one.
+// Shares from different epochs lie on different polynomials and must never
+// be mixed in one reconstruction or combination.
 type Share struct {
 	Index uint8
+	Epoch uint32
 	Value *big.Int
 }
 
-// shareMarshalledSize is 1 index byte plus a 32-byte big-endian scalar.
-const shareMarshalledSize = 1 + 32
+// shareMarshalledSize is 1 index byte, a 4-byte big-endian epoch and a
+// 32-byte big-endian scalar.
+const shareMarshalledSize = 1 + 4 + 32
 
-// Marshal encodes the share as Index‖Value (32-byte big-endian scalar).
+// Marshal encodes the share as Index‖Epoch‖Value (big-endian).
 func (s *Share) Marshal() []byte {
 	out := make([]byte, shareMarshalledSize)
 	out[0] = s.Index
-	s.Value.FillBytes(out[1:])
+	binary.BigEndian.PutUint32(out[1:5], s.Epoch)
+	s.Value.FillBytes(out[5:])
 	return out
 }
 
@@ -54,7 +62,11 @@ func UnmarshalShare(data []byte) (*Share, error) {
 	if len(data) != shareMarshalledSize {
 		return nil, fmt.Errorf("threshold: share wants %d bytes, got %d", shareMarshalledSize, len(data))
 	}
-	s := &Share{Index: data[0], Value: new(big.Int).SetBytes(data[1:])}
+	s := &Share{
+		Index: data[0],
+		Epoch: binary.BigEndian.Uint32(data[1:5]),
+		Value: new(big.Int).SetBytes(data[5:]),
+	}
 	if s.Index == 0 {
 		return nil, fmt.Errorf("threshold: share index zero")
 	}
@@ -152,6 +164,10 @@ func lagrangeAtZero(indices []uint8) ([]*big.Int, error) {
 func Reconstruct(shares []*Share) (*big.Int, error) {
 	indices := make([]uint8, len(shares))
 	for i, s := range shares {
+		if s.Epoch != shares[0].Epoch {
+			return nil, fmt.Errorf("threshold: %w: share %d is epoch %d, share %d is epoch %d",
+				ErrMixedEpochs, s.Index, s.Epoch, shares[0].Index, shares[0].Epoch)
+		}
 		indices[i] = s.Index
 	}
 	lambda, err := lagrangeAtZero(indices)
